@@ -1,0 +1,84 @@
+//! Criterion benches for the numerical phase: sequential vs. parallel
+//! Cholesky on the column DAG, and the triangular solves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spfactor::numeric::{
+    cholesky, cholesky_block_parallel, cholesky_multifrontal, cholesky_supernodal,
+    parallel::cholesky_parallel, solve,
+};
+use spfactor::{Ordering, SymbolicFactor};
+
+fn setup(
+    m: &spfactor::matrix::gen::paper::TestMatrix,
+) -> (spfactor::matrix::SymmetricCsc, SymbolicFactor) {
+    let perm = spfactor::order::order(&m.pattern, Ordering::paper_default());
+    let a = spfactor::matrix::gen::spd_from_pattern(&m.pattern.permute(&perm), 1);
+    let f = SymbolicFactor::from_pattern(&a.pattern());
+    (a, f)
+}
+
+fn bench_cholesky(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cholesky");
+    group.sample_size(20);
+    for m in [
+        spfactor::matrix::gen::paper::dwt512(),
+        spfactor::matrix::gen::paper::lap30(),
+    ] {
+        let (a, f) = setup(&m);
+        group.bench_with_input(
+            BenchmarkId::new("sequential", m.name),
+            &(&a, &f),
+            |b, (a, f)| b.iter(|| cholesky(a, f).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("supernodal", m.name),
+            &(&a, &f),
+            |b, (a, f)| b.iter(|| cholesky_supernodal(a, f, 0).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("multifrontal", m.name),
+            &(&a, &f),
+            |b, (a, f)| b.iter(|| cholesky_multifrontal(a, f, 0).unwrap()),
+        );
+        for threads in [2usize, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("parallel_t{threads}"), m.name),
+                &(&a, &f),
+                |b, (a, f)| b.iter(|| cholesky_parallel(a, f, threads).unwrap()),
+            );
+        }
+        // The paper's own schedule, executed numerically.
+        let part = spfactor::Partition::build(&f, &spfactor::PartitionParams::with_grain(25));
+        let deps = spfactor::partition::dependencies(&f, &part);
+        let assign = spfactor::sched::block_allocation(&part, &deps, 8);
+        group.bench_with_input(
+            BenchmarkId::new("block_schedule_p8", m.name),
+            &(&a, &f, &part, &deps, &assign),
+            |b, (a, f, part, deps, assign)| {
+                b.iter(|| cholesky_block_parallel(a, f, part, deps, assign).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("triangular_solve");
+    group.sample_size(50);
+    let m = spfactor::matrix::gen::paper::lap30();
+    let (a, f) = setup(&m);
+    let l = cholesky(&a, &f).unwrap();
+    let b0: Vec<f64> = (0..a.n()).map(|i| (i as f64).sin()).collect();
+    group.bench_function("forward_backward_lap30", |bch| {
+        bch.iter(|| {
+            let mut x = b0.clone();
+            solve::lower_solve(&l, &mut x);
+            solve::upper_solve(&l, &mut x);
+            x
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cholesky, bench_solve);
+criterion_main!(benches);

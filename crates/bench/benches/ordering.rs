@@ -1,0 +1,45 @@
+//! Criterion benches for the ordering stage: MMD (the paper's choice)
+//! against RCM and nested dissection on the paper's matrices.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spfactor::Ordering;
+
+fn bench_orderings(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ordering");
+    group.sample_size(10);
+    for m in [
+        spfactor::matrix::gen::paper::dwt512(),
+        spfactor::matrix::gen::paper::lap30(),
+        spfactor::matrix::gen::paper::bus1138(),
+    ] {
+        for (label, method) in [
+            ("mmd", Ordering::MultipleMinimumDegree { delta: 0 }),
+            ("rcm", Ordering::ReverseCuthillMcKee),
+            ("nd", Ordering::NestedDissection),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, m.name), &m.pattern, |b, pattern| {
+                b.iter(|| spfactor::order::order(pattern, method))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_etree_and_symbolic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("symbolic");
+    group.sample_size(20);
+    for m in [
+        spfactor::matrix::gen::paper::lap30(),
+        spfactor::matrix::gen::paper::cann1072(),
+    ] {
+        let perm = spfactor::order::order(&m.pattern, Ordering::paper_default());
+        let pp = m.pattern.permute(&perm);
+        group.bench_with_input(BenchmarkId::new("factor", m.name), &pp, |b, pp| {
+            b.iter(|| spfactor::SymbolicFactor::from_pattern(pp))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_orderings, bench_etree_and_symbolic);
+criterion_main!(benches);

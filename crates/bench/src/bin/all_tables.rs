@@ -1,0 +1,21 @@
+//! Runs every table/figure regenerator in sequence (the source of
+//! `EXPERIMENTS.md`'s measured columns). Equivalent to running the
+//! `table1..table5`, `fig2`, and `fig3` binaries back to back.
+
+use std::process::Command;
+
+fn main() {
+    let exe = std::env::current_exe().expect("current exe path");
+    let dir = exe.parent().expect("bin dir");
+    for bin in [
+        "table1", "table2", "table3", "table4", "table5", "fig2", "fig3",
+    ] {
+        let path = dir.join(bin);
+        println!("==================== {bin} ====================");
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
+        assert!(status.success(), "{bin} failed");
+        println!();
+    }
+}

@@ -1,0 +1,51 @@
+//! Message-consolidation analysis (the paper's step 5: "consolidate the
+//! non-local memory access information for each processor so as to
+//! minimize communication overhead"). Compares volume (elements) against
+//! message count after per-source-block consolidation for the block and
+//! wrap schemes.
+//!
+//! ```text
+//! cargo run --release -p spfactor-bench --bin consolidation [P]
+//! ```
+
+use spfactor::simulate::consolidate::consolidated_traffic;
+use spfactor::{Pipeline, Scheme};
+
+fn main() {
+    let nprocs: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
+    println!("P = {nprocs}, block grain 25");
+    println!(
+        "{:>9} | {:>9} {:>9} {:>7} | {:>9} {:>9} {:>7}",
+        "matrix", "blk vol", "blk msgs", "blk sz", "wrp vol", "wrp msgs", "wrp sz"
+    );
+    for m in spfactor::matrix::gen::paper::all() {
+        let block = Pipeline::new(m.pattern.clone())
+            .grain(25)
+            .processors(nprocs)
+            .run();
+        let wrap = Pipeline::new(m.pattern.clone())
+            .scheme(Scheme::Wrap)
+            .processors(nprocs)
+            .run();
+        let cb = consolidated_traffic(&block.factor, &block.partition, &block.assignment);
+        let cw = consolidated_traffic(&wrap.factor, &wrap.partition, &wrap.assignment);
+        println!(
+            "{:>9} | {:>9} {:>9} {:>7.1} | {:>9} {:>9} {:>7.1}",
+            m.name,
+            cb.volume,
+            cb.messages,
+            cb.mean_message_size(),
+            cw.volume,
+            cw.messages,
+            cw.mean_message_size(),
+        );
+    }
+    println!();
+    println!("'msgs' counts distinct (source unit, destination processor) pairs —");
+    println!("what remains after perfect consolidation; 'sz' is elements/message.");
+    println!("Big blocks mean fewer, larger messages: the amortization the paper's");
+    println!("step 5 is after.");
+}

@@ -1,0 +1,74 @@
+//! Hot-spot analysis: the processor-pair transfer matrices of the block
+//! and wrap schemes, visualized as ASCII heat maps. Substantiates §5's
+//! remark that "wrap-mappings usually lead to processors communicating
+//! with a large number of other processors ... and possibly to
+//! hot-spots", while block schemes confine communication to small groups.
+//!
+//! ```text
+//! cargo run --release -p spfactor-bench --bin hotspot [MATRIX] [P]
+//! ```
+
+use spfactor::{Pipeline, Scheme, TrafficReport};
+
+fn heat(t: &TrafficReport) -> String {
+    let p = t.nprocs;
+    let max = t.max_pair().max(1);
+    let glyphs = [' ', '.', ':', '+', '*', '#', '@'];
+    let mut out = String::new();
+    out.push_str("     ");
+    for dst in 0..p {
+        out.push_str(&format!("{:>2}", dst % 100 / 10));
+    }
+    out.push('\n');
+    for src in 0..p {
+        out.push_str(&format!("{src:>4} "));
+        for dst in 0..p {
+            let v = t.pair_matrix[src * p + dst];
+            let k = if v == 0 {
+                0
+            } else {
+                1 + (v * (glyphs.len() - 2)) / max
+            };
+            out.push(' ');
+            out.push(glyphs[k.min(glyphs.len() - 1)]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "LAP30".into());
+    let nprocs: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
+    let m = spfactor::matrix::gen::paper::all()
+        .into_iter()
+        .find(|m| m.name.eq_ignore_ascii_case(&name))
+        .unwrap_or_else(|| {
+            eprintln!("unknown matrix {name:?}");
+            std::process::exit(2);
+        });
+    let block = Pipeline::new(m.pattern.clone())
+        .grain(25)
+        .processors(nprocs)
+        .run();
+    let wrap = Pipeline::new(m.pattern.clone())
+        .scheme(Scheme::Wrap)
+        .processors(nprocs)
+        .run();
+    for (label, t) in [("block (g=25)", &block.traffic), ("wrap", &wrap.traffic)] {
+        let partners: Vec<usize> = (0..nprocs).map(|p| t.partners(p)).collect();
+        let mean_partners = partners.iter().sum::<usize>() as f64 / nprocs.max(1) as f64;
+        println!(
+            "{} — {label}: total {} | hottest pair {} | mean partners {:.1}",
+            m.name,
+            t.total,
+            t.max_pair(),
+            mean_partners
+        );
+        println!("{}", heat(t));
+    }
+    println!("rows = owners (senders), cols = fetchers; darker = more elements.");
+}

@@ -1,0 +1,592 @@
+//! The published values of the paper's tables, transcribed verbatim for
+//! side-by-side comparison in the table binaries.
+
+/// A row of Table 1 (test matrix descriptions).
+pub struct Table1Row {
+    /// Matrix name as used in the paper.
+    pub matrix: &'static str,
+    /// Number of equations.
+    pub n: usize,
+    /// Nonzeros of A (lower triangle incl. diagonal).
+    pub nnz_a: usize,
+    /// Nonzeros of the factor under GENMMD.
+    pub nnz_l: usize,
+}
+
+/// Table 1: Selected Harwell-Boeing Test Matrices.
+pub const TABLE1: [Table1Row; 5] = [
+    Table1Row {
+        matrix: "BUS1138",
+        n: 1138,
+        nnz_a: 2596,
+        nnz_l: 3304,
+    },
+    Table1Row {
+        matrix: "CANN1072",
+        n: 1072,
+        nnz_a: 6758,
+        nnz_l: 20512,
+    },
+    Table1Row {
+        matrix: "DWT512",
+        n: 512,
+        nnz_a: 2007,
+        nnz_l: 3786,
+    },
+    Table1Row {
+        matrix: "LAP30",
+        n: 900,
+        nnz_a: 4322,
+        nnz_l: 16697,
+    },
+    Table1Row {
+        matrix: "LSHP1009",
+        n: 1009,
+        nnz_a: 3937,
+        nnz_l: 18268,
+    },
+];
+
+/// A row of Table 2 (block mapping communication).
+pub struct Table2Row {
+    /// Matrix name.
+    pub matrix: &'static str,
+    /// Processor count.
+    pub nprocs: usize,
+    /// Total traffic at grain 4.
+    pub total_g4: usize,
+    /// Total traffic at grain 25.
+    pub total_g25: usize,
+    /// Mean traffic per processor at grain 4.
+    pub mean_g4: usize,
+    /// Mean traffic per processor at grain 25.
+    pub mean_g25: usize,
+}
+
+/// Table 2: Block mapping communication.
+pub const TABLE2: [Table2Row; 15] = [
+    Table2Row {
+        matrix: "BUS1138",
+        nprocs: 4,
+        total_g4: 1335,
+        total_g25: 1194,
+        mean_g4: 334,
+        mean_g25: 298,
+    },
+    Table2Row {
+        matrix: "BUS1138",
+        nprocs: 16,
+        total_g4: 1818,
+        total_g25: 1567,
+        mean_g4: 114,
+        mean_g25: 98,
+    },
+    Table2Row {
+        matrix: "BUS1138",
+        nprocs: 32,
+        total_g4: 1910,
+        total_g25: 1649,
+        mean_g4: 60,
+        mean_g25: 103,
+    },
+    Table2Row {
+        matrix: "CANN1072",
+        nprocs: 4,
+        total_g4: 47545,
+        total_g25: 40716,
+        mean_g4: 11886,
+        mean_g25: 10179,
+    },
+    Table2Row {
+        matrix: "CANN1072",
+        nprocs: 16,
+        total_g4: 138453,
+        total_g25: 80334,
+        mean_g4: 8653,
+        mean_g25: 5021,
+    },
+    Table2Row {
+        matrix: "CANN1072",
+        nprocs: 32,
+        total_g4: 171965,
+        total_g25: 89042,
+        mean_g4: 5374,
+        mean_g25: 2783,
+    },
+    Table2Row {
+        matrix: "DWT512",
+        nprocs: 4,
+        total_g4: 5336,
+        total_g25: 3768,
+        mean_g4: 1334,
+        mean_g25: 942,
+    },
+    Table2Row {
+        matrix: "DWT512",
+        nprocs: 16,
+        total_g4: 10328,
+        total_g25: 5482,
+        mean_g4: 645,
+        mean_g25: 342,
+    },
+    Table2Row {
+        matrix: "DWT512",
+        nprocs: 32,
+        total_g4: 11305,
+        total_g25: 5950,
+        mean_g4: 353,
+        mean_g25: 185,
+    },
+    Table2Row {
+        matrix: "LAP30",
+        nprocs: 4,
+        total_g4: 38424,
+        total_g25: 29382,
+        mean_g4: 9606,
+        mean_g25: 7346,
+    },
+    Table2Row {
+        matrix: "LAP30",
+        nprocs: 16,
+        total_g4: 100012,
+        total_g25: 44738,
+        mean_g4: 6251,
+        mean_g25: 2796,
+    },
+    Table2Row {
+        matrix: "LAP30",
+        nprocs: 32,
+        total_g4: 113717,
+        total_g25: 48863,
+        mean_g4: 3554,
+        mean_g25: 1527,
+    },
+    Table2Row {
+        matrix: "LSHP1009",
+        nprocs: 4,
+        total_g4: 42044,
+        total_g25: 29899,
+        mean_g4: 10511,
+        mean_g25: 7475,
+    },
+    Table2Row {
+        matrix: "LSHP1009",
+        nprocs: 16,
+        total_g4: 106973,
+        total_g25: 57773,
+        mean_g4: 6686,
+        mean_g25: 3611,
+    },
+    Table2Row {
+        matrix: "LSHP1009",
+        nprocs: 32,
+        total_g4: 127612,
+        total_g25: 60243,
+        mean_g4: 3988,
+        mean_g25: 1883,
+    },
+];
+
+/// A row of Table 3 (block mapping work distribution).
+pub struct Table3Row {
+    /// Matrix name.
+    pub matrix: &'static str,
+    /// Processor count.
+    pub nprocs: usize,
+    /// Mean work per processor.
+    pub mean_work: usize,
+    /// Load imbalance factor at grain 4.
+    pub delta_g4: f64,
+    /// Load imbalance factor at grain 25.
+    pub delta_g25: f64,
+}
+
+/// Table 3: Block mapping work distribution.
+pub const TABLE3: [Table3Row; 15] = [
+    Table3Row {
+        matrix: "BUS1138",
+        nprocs: 4,
+        mean_work: 2791,
+        delta_g4: 0.77,
+        delta_g25: 0.8,
+    },
+    Table3Row {
+        matrix: "BUS1138",
+        nprocs: 16,
+        mean_work: 698,
+        delta_g4: 3.59,
+        delta_g25: 3.59,
+    },
+    Table3Row {
+        matrix: "BUS1138",
+        nprocs: 32,
+        mean_work: 349,
+        delta_g4: 6.3,
+        delta_g25: 6.3,
+    },
+    Table3Row {
+        matrix: "CANN1072",
+        nprocs: 4,
+        mean_work: 151460,
+        delta_g4: 0.07,
+        delta_g25: 0.122,
+    },
+    Table3Row {
+        matrix: "CANN1072",
+        nprocs: 16,
+        mean_work: 37865,
+        delta_g4: 0.13,
+        delta_g25: 0.62,
+    },
+    Table3Row {
+        matrix: "CANN1072",
+        nprocs: 32,
+        mean_work: 18932,
+        delta_g4: 0.38,
+        delta_g25: 1.26,
+    },
+    Table3Row {
+        matrix: "DWT512",
+        nprocs: 4,
+        mean_work: 11701,
+        delta_g4: 0.17,
+        delta_g25: 0.18,
+    },
+    Table3Row {
+        matrix: "DWT512",
+        nprocs: 16,
+        mean_work: 2925,
+        delta_g4: 1.14,
+        delta_g25: 1.37,
+    },
+    Table3Row {
+        matrix: "DWT512",
+        nprocs: 32,
+        mean_work: 1462,
+        delta_g4: 1.48,
+        delta_g25: 3.67,
+    },
+    Table3Row {
+        matrix: "LAP30",
+        nprocs: 4,
+        mean_work: 108644,
+        delta_g4: 0.12,
+        delta_g25: 0.16,
+    },
+    Table3Row {
+        matrix: "LAP30",
+        nprocs: 16,
+        mean_work: 27161,
+        delta_g4: 0.13,
+        delta_g25: 1.13,
+    },
+    Table3Row {
+        matrix: "LAP30",
+        nprocs: 32,
+        mean_work: 13581,
+        delta_g4: 0.48,
+        delta_g25: 2.9,
+    },
+    Table3Row {
+        matrix: "LSHP1009",
+        nprocs: 4,
+        mean_work: 125392,
+        delta_g4: 0.06,
+        delta_g25: 0.24,
+    },
+    Table3Row {
+        matrix: "LSHP1009",
+        nprocs: 16,
+        mean_work: 31348,
+        delta_g4: 0.25,
+        delta_g25: 0.74,
+    },
+    Table3Row {
+        matrix: "LSHP1009",
+        nprocs: 32,
+        mean_work: 15674,
+        delta_g4: 0.24,
+        delta_g25: 2.04,
+    },
+];
+
+/// A row of Table 4 (LAP30, variation with minimum cluster width, g = 4).
+pub struct Table4Row {
+    /// Minimum cluster width.
+    pub width: usize,
+    /// Processor count.
+    pub nprocs: usize,
+    /// Total traffic.
+    pub total: usize,
+    /// Mean traffic per processor.
+    pub mean: usize,
+    /// Mean work per processor.
+    pub mean_work: usize,
+    /// Load imbalance factor.
+    pub delta: f64,
+}
+
+/// Table 4: Variation with width for LAP30, g = 4.
+pub const TABLE4: [Table4Row; 9] = [
+    Table4Row {
+        width: 2,
+        nprocs: 4,
+        total: 38936,
+        mean: 9734,
+        mean_work: 108644,
+        delta: 0.03,
+    },
+    Table4Row {
+        width: 2,
+        nprocs: 16,
+        total: 96235,
+        mean: 6015,
+        mean_work: 27161,
+        delta: 0.167,
+    },
+    Table4Row {
+        width: 2,
+        nprocs: 32,
+        total: 111519,
+        mean: 3485,
+        mean_work: 13580,
+        delta: 0.54,
+    },
+    Table4Row {
+        width: 4,
+        nprocs: 4,
+        total: 38424,
+        mean: 9606,
+        mean_work: 108644,
+        delta: 0.12,
+    },
+    Table4Row {
+        width: 4,
+        nprocs: 16,
+        total: 100012,
+        mean: 6251,
+        mean_work: 27161,
+        delta: 0.13,
+    },
+    Table4Row {
+        width: 4,
+        nprocs: 32,
+        total: 113717,
+        mean: 3554,
+        mean_work: 13580,
+        delta: 0.48,
+    },
+    Table4Row {
+        width: 8,
+        nprocs: 4,
+        total: 32569,
+        mean: 8142,
+        mean_work: 108644,
+        delta: 0.62,
+    },
+    Table4Row {
+        width: 8,
+        nprocs: 16,
+        total: 88408,
+        mean: 5526,
+        mean_work: 27161,
+        delta: 1.35,
+    },
+    Table4Row {
+        width: 8,
+        nprocs: 32,
+        total: 101725,
+        mean: 3179,
+        mean_work: 13580,
+        delta: 2.3,
+    },
+];
+
+/// A row of Table 5 (wrap mapping).
+pub struct Table5Row {
+    /// Matrix name.
+    pub matrix: &'static str,
+    /// Processor count.
+    pub nprocs: usize,
+    /// Total traffic.
+    pub total: usize,
+    /// Mean traffic per processor.
+    pub mean: usize,
+    /// Mean work per processor.
+    pub mean_work: usize,
+    /// Load imbalance factor.
+    pub delta: f64,
+}
+
+/// Table 5: Wrap mapping.
+pub const TABLE5: [Table5Row; 20] = [
+    Table5Row {
+        matrix: "BUS1138",
+        nprocs: 1,
+        total: 0,
+        mean: 0,
+        mean_work: 11164,
+        delta: 0.0,
+    },
+    Table5Row {
+        matrix: "BUS1138",
+        nprocs: 4,
+        total: 2485,
+        mean: 621,
+        mean_work: 2791,
+        delta: 0.02,
+    },
+    Table5Row {
+        matrix: "BUS1138",
+        nprocs: 16,
+        total: 3705,
+        mean: 231,
+        mean_work: 698,
+        delta: 0.12,
+    },
+    Table5Row {
+        matrix: "BUS1138",
+        nprocs: 32,
+        total: 3832,
+        mean: 120,
+        mean_work: 349,
+        delta: 0.35,
+    },
+    Table5Row {
+        matrix: "CANN1072",
+        nprocs: 1,
+        total: 0,
+        mean: 0,
+        mean_work: 605840,
+        delta: 0.0,
+    },
+    Table5Row {
+        matrix: "CANN1072",
+        nprocs: 4,
+        total: 52363,
+        mean: 13090,
+        mean_work: 151460,
+        delta: 0.01,
+    },
+    Table5Row {
+        matrix: "CANN1072",
+        nprocs: 16,
+        total: 171764,
+        mean: 10735,
+        mean_work: 37865,
+        delta: 0.05,
+    },
+    Table5Row {
+        matrix: "CANN1072",
+        nprocs: 32,
+        total: 239646,
+        mean: 7489,
+        mean_work: 18932,
+        delta: 0.14,
+    },
+    Table5Row {
+        matrix: "DWT512",
+        nprocs: 1,
+        total: 0,
+        mean: 0,
+        mean_work: 46804,
+        delta: 0.0,
+    },
+    Table5Row {
+        matrix: "DWT512",
+        nprocs: 4,
+        total: 7599,
+        mean: 1900,
+        mean_work: 11701,
+        delta: 0.02,
+    },
+    Table5Row {
+        matrix: "DWT512",
+        nprocs: 16,
+        total: 17867,
+        mean: 1117,
+        mean_work: 2925,
+        delta: 0.26,
+    },
+    Table5Row {
+        matrix: "DWT512",
+        nprocs: 32,
+        total: 20990,
+        mean: 656,
+        mean_work: 1462,
+        delta: 0.32,
+    },
+    Table5Row {
+        matrix: "LAP30",
+        nprocs: 1,
+        total: 0,
+        mean: 0,
+        mean_work: 434577,
+        delta: 0.0,
+    },
+    Table5Row {
+        matrix: "LAP30",
+        nprocs: 4,
+        total: 42663,
+        mean: 10665,
+        mean_work: 108644,
+        delta: 0.01,
+    },
+    Table5Row {
+        matrix: "LAP30",
+        nprocs: 16,
+        total: 133720,
+        mean: 8357,
+        mean_work: 27161,
+        delta: 0.06,
+    },
+    Table5Row {
+        matrix: "LAP30",
+        nprocs: 32,
+        total: 177625,
+        mean: 5551,
+        mean_work: 13580,
+        delta: 0.11,
+    },
+    Table5Row {
+        matrix: "LSHP1009",
+        nprocs: 1,
+        total: 0,
+        mean: 0,
+        mean_work: 501570,
+        delta: 0.0,
+    },
+    Table5Row {
+        matrix: "LSHP1009",
+        nprocs: 4,
+        total: 46347,
+        mean: 11586,
+        mean_work: 125392,
+        delta: 0.01,
+    },
+    Table5Row {
+        matrix: "LSHP1009",
+        nprocs: 16,
+        total: 146322,
+        mean: 9145,
+        mean_work: 31348,
+        delta: 0.09,
+    },
+    Table5Row {
+        matrix: "LSHP1009",
+        nprocs: 32,
+        total: 192977,
+        mean: 6031,
+        mean_work: 15674,
+        delta: 0.24,
+    },
+];
+
+/// Sequential total work (Table 5's P = 1 mean column) per matrix.
+pub const TABLE5_WTOT: [(&str, usize); 5] = [
+    ("BUS1138", 11164),
+    ("CANN1072", 605840),
+    ("DWT512", 46804),
+    ("LAP30", 434577),
+    ("LSHP1009", 501570),
+];

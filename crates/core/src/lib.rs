@@ -1,0 +1,232 @@
+//! # spfactor
+//!
+//! A reproduction of *Effects of Partitioning and Scheduling Sparse Matrix
+//! Factorization on Communication and Load Balance* (Sesh Venugopal &
+//! Vijay K. Naik, ICASE Report 91-80, Supercomputing 1991): a block-based,
+//! automatic partitioning and scheduling system for sparse Cholesky
+//! factorization on distributed-memory machines, with a machine model
+//! that measures the communication / load-balance trade-off the paper
+//! studies.
+//!
+//! The subsystems are separate crates, re-exported here as modules:
+//!
+//! * [`matrix`] — sparse structures, formats (MatrixMarket,
+//!   Harwell-Boeing), generators for the paper's test matrices;
+//! * [`order`] — multiple minimum degree (the paper's ordering), RCM,
+//!   nested dissection, elimination trees;
+//! * [`symbolic`] — symbolic factorization, supernodes, update-operation
+//!   enumeration;
+//! * [`interval`] — the interval-tree substrate of the dependency engine;
+//! * [`partition`] — clusters, unit blocks, the ten dependency categories;
+//! * [`sched`] — the paper's block allocation, the wrap-mapped baseline,
+//!   ablation allocators;
+//! * [`simulate`] — data traffic, load imbalance, hot-spots, timed
+//!   simulation;
+//! * [`numeric`] — real Cholesky factorization, triangular solves, and a
+//!   parallel DAG executor.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use spfactor::{Pipeline, Scheme};
+//!
+//! // The paper's LAP30 test problem: 9-point Laplacian, 30x30 grid.
+//! let matrix = spfactor::matrix::gen::paper::lap30();
+//!
+//! // Block scheme with grain size 4 on 16 processors (Tables 2-3).
+//! let block = Pipeline::new(matrix.pattern.clone())
+//!     .grain(4)
+//!     .processors(16)
+//!     .run();
+//! // Wrap-mapped baseline (Table 5).
+//! let wrap = Pipeline::new(matrix.pattern.clone())
+//!     .scheme(Scheme::Wrap)
+//!     .processors(16)
+//!     .run();
+//!
+//! // The paper's trade-off: block communicates less, wrap balances better.
+//! assert!(block.traffic.total < wrap.traffic.total);
+//! assert!(wrap.work.imbalance() <= block.work.imbalance());
+//! ```
+
+pub use spfactor_interval as interval;
+pub use spfactor_matrix as matrix;
+pub use spfactor_numeric as numeric;
+pub use spfactor_order as order;
+pub use spfactor_partition as partition;
+pub use spfactor_sched as sched;
+pub use spfactor_simulate as simulate;
+pub use spfactor_symbolic as symbolic;
+
+pub use spfactor_matrix::{Permutation, SymmetricPattern};
+pub use spfactor_order::Ordering;
+pub use spfactor_partition::{DepGraph, Partition, PartitionParams};
+pub use spfactor_sched::Assignment;
+pub use spfactor_simulate::{TrafficReport, WorkReport};
+pub use spfactor_symbolic::SymbolicFactor;
+
+/// Which mapping scheme the pipeline runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scheme {
+    /// The paper's block-based partitioning and allocation.
+    Block,
+    /// The wrap-mapped column baseline.
+    Wrap,
+}
+
+/// End-to-end driver: ordering → symbolic factorization → partitioning →
+/// scheduling → simulation, with the paper's defaults.
+#[derive(Clone, Debug)]
+pub struct Pipeline {
+    pattern: SymmetricPattern,
+    ordering: Ordering,
+    params: PartitionParams,
+    scheme: Scheme,
+    nprocs: usize,
+}
+
+impl Pipeline {
+    /// Starts a pipeline on a symmetric sparsity structure with the
+    /// paper's defaults: MMD ordering, grain 4, minimum cluster width 4,
+    /// block scheme, 4 processors.
+    pub fn new(pattern: SymmetricPattern) -> Self {
+        Pipeline {
+            pattern,
+            ordering: Ordering::paper_default(),
+            params: PartitionParams::default(),
+            scheme: Scheme::Block,
+            nprocs: 4,
+        }
+    }
+
+    /// Selects the ordering algorithm.
+    pub fn ordering(mut self, o: Ordering) -> Self {
+        self.ordering = o;
+        self
+    }
+
+    /// Sets both grain sizes (minimum elements per unit block).
+    pub fn grain(mut self, g: usize) -> Self {
+        self.params.grain_triangle = g;
+        self.params.grain_rectangle = g;
+        self
+    }
+
+    /// Sets the minimum cluster width (Table 4's parameter).
+    pub fn min_cluster_width(mut self, w: usize) -> Self {
+        self.params.min_cluster_width = w;
+        self
+    }
+
+    /// Sets the full partitioning parameter set.
+    pub fn params(mut self, p: PartitionParams) -> Self {
+        self.params = p;
+        self
+    }
+
+    /// Selects block or wrap mapping.
+    pub fn scheme(mut self, s: Scheme) -> Self {
+        self.scheme = s;
+        self
+    }
+
+    /// Sets the processor count.
+    pub fn processors(mut self, n: usize) -> Self {
+        assert!(n > 0, "need at least one processor");
+        self.nprocs = n;
+        self
+    }
+
+    /// Runs all stages and returns the full set of artifacts and metrics.
+    pub fn run(self) -> PipelineResult {
+        let perm = order::order(&self.pattern, self.ordering);
+        let permuted = self.pattern.permute(&perm);
+        let factor = SymbolicFactor::from_pattern(&permuted);
+        let (partition, deps, assignment) = match self.scheme {
+            Scheme::Block => {
+                let partition = Partition::build(&factor, &self.params);
+                let deps = partition::dependencies(&factor, &partition);
+                let assignment = sched::block_allocation(&partition, &deps, self.nprocs);
+                (partition, deps, assignment)
+            }
+            Scheme::Wrap => {
+                let partition = Partition::columns(&factor);
+                let deps = partition::dependencies(&factor, &partition);
+                let assignment = sched::wrap_allocation(&partition, self.nprocs);
+                (partition, deps, assignment)
+            }
+        };
+        let traffic = simulate::data_traffic(&factor, &partition, &assignment);
+        let work = simulate::work_distribution(&partition, &assignment);
+        PipelineResult {
+            permutation: perm,
+            factor,
+            partition,
+            deps,
+            assignment,
+            traffic,
+            work,
+        }
+    }
+}
+
+/// Everything a pipeline run produces.
+#[derive(Clone, Debug)]
+pub struct PipelineResult {
+    /// The fill-reducing permutation (`perm[new] = old`).
+    pub permutation: Permutation,
+    /// The symbolic factor (in permuted coordinates).
+    pub factor: SymbolicFactor,
+    /// Clusters and unit blocks.
+    pub partition: Partition,
+    /// The unit-level dependency graph.
+    pub deps: DepGraph,
+    /// Unit → processor assignment.
+    pub assignment: Assignment,
+    /// Data-traffic metrics (paper's communication tables).
+    pub traffic: TrafficReport,
+    /// Work-distribution metrics (paper's Δ columns).
+    pub work: WorkReport,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spfactor_matrix::gen;
+
+    #[test]
+    fn pipeline_runs_block_and_wrap() {
+        let p = gen::lap9(10, 10);
+        let block = Pipeline::new(p.clone()).grain(4).processors(8).run();
+        assert_eq!(block.factor.n(), 100);
+        assert!(block.partition.num_units() > 0);
+        assert_eq!(block.work.total, block.factor.paper_work());
+
+        let wrap = Pipeline::new(p).scheme(Scheme::Wrap).processors(8).run();
+        assert_eq!(wrap.partition.num_units(), 100);
+        assert_eq!(wrap.work.total, block.work.total);
+    }
+
+    #[test]
+    fn pipeline_is_deterministic() {
+        let p = gen::lap9(8, 8);
+        let a = Pipeline::new(p.clone()).processors(4).run();
+        let b = Pipeline::new(p).processors(4).run();
+        assert_eq!(a.traffic, b.traffic);
+        assert_eq!(a.work, b.work);
+    }
+
+    #[test]
+    fn builder_setters_apply() {
+        let p = gen::grid5(5, 5);
+        let r = Pipeline::new(p)
+            .ordering(Ordering::ReverseCuthillMcKee)
+            .grain(25)
+            .min_cluster_width(8)
+            .processors(2)
+            .run();
+        assert_eq!(r.partition.params.grain_triangle, 25);
+        assert_eq!(r.partition.params.min_cluster_width, 8);
+        assert_eq!(r.assignment.nprocs, 2);
+    }
+}

@@ -1,0 +1,238 @@
+//! Sets of disjoint intervals.
+
+use crate::Interval;
+
+/// A set of integers represented as sorted, disjoint, non-adjacent closed
+/// intervals. Used for row-coverage bookkeeping when carving dense blocks
+/// out of the symbolic factor.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct IntervalSet {
+    /// Sorted, pairwise disjoint and non-adjacent.
+    runs: Vec<Interval>,
+}
+
+impl IntervalSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        IntervalSet { runs: Vec::new() }
+    }
+
+    /// Builds a set from sorted, strictly ascending integers, coalescing
+    /// consecutive runs — e.g. the row indices of a factor column.
+    pub fn from_sorted_points(points: &[usize]) -> Self {
+        debug_assert!(points.windows(2).all(|w| w[0] < w[1]), "points not sorted");
+        let mut runs = Vec::new();
+        let mut it = points.iter().copied();
+        if let Some(first) = it.next() {
+            let mut lo = first;
+            let mut hi = first;
+            for p in it {
+                if p == hi + 1 {
+                    hi = p;
+                } else {
+                    runs.push(Interval::new(lo, hi));
+                    lo = p;
+                    hi = p;
+                }
+            }
+            runs.push(Interval::new(lo, hi));
+        }
+        IntervalSet { runs }
+    }
+
+    /// The runs (maximal intervals), ascending.
+    pub fn runs(&self) -> &[Interval] {
+        &self.runs
+    }
+
+    /// `true` if the set has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Number of integers in the set.
+    pub fn len(&self) -> usize {
+        self.runs.iter().map(Interval::len).sum()
+    }
+
+    /// Membership test (binary search).
+    pub fn contains(&self, p: usize) -> bool {
+        self.runs
+            .binary_search_by(|iv| {
+                if iv.hi < p {
+                    std::cmp::Ordering::Less
+                } else if iv.lo > p {
+                    std::cmp::Ordering::Greater
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok()
+    }
+
+    /// Inserts the interval, merging overlapping or adjacent runs.
+    pub fn insert(&mut self, iv: Interval) {
+        // Find the insertion window of runs that overlap or touch iv.
+        let mut lo = iv.lo;
+        let mut hi = iv.hi;
+        // Runs strictly before iv (not even adjacent) stay untouched.
+        let start = self.runs.partition_point(|r| r.hi + 1 < iv.lo);
+        let mut end = start;
+        while end < self.runs.len() && self.runs[end].lo <= hi.saturating_add(1) {
+            lo = lo.min(self.runs[end].lo);
+            hi = hi.max(self.runs[end].hi);
+            end += 1;
+        }
+        self.runs.splice(start..end, [Interval::new(lo, hi)]);
+    }
+
+    /// Union of two sets.
+    pub fn union(&self, other: &IntervalSet) -> IntervalSet {
+        let mut out = self.clone();
+        for &iv in &other.runs {
+            out.insert(iv);
+        }
+        out
+    }
+
+    /// Intersection of two sets.
+    pub fn intersect(&self, other: &IntervalSet) -> IntervalSet {
+        let mut runs = Vec::new();
+        let (mut a, mut b) = (0usize, 0usize);
+        while a < self.runs.len() && b < other.runs.len() {
+            if let Some(iv) = self.runs[a].intersection(&other.runs[b]) {
+                runs.push(iv);
+            }
+            if self.runs[a].hi < other.runs[b].hi {
+                a += 1;
+            } else {
+                b += 1;
+            }
+        }
+        IntervalSet { runs }
+    }
+
+    /// Iterates all member integers ascending.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.runs.iter().flat_map(|iv| iv.lo..=iv.hi)
+    }
+}
+
+impl FromIterator<Interval> for IntervalSet {
+    fn from_iter<I: IntoIterator<Item = Interval>>(iter: I) -> Self {
+        let mut s = IntervalSet::new();
+        for iv in iter {
+            s.insert(iv);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn from_sorted_points_coalesces_runs() {
+        let s = IntervalSet::from_sorted_points(&[1, 2, 3, 7, 9, 10]);
+        assert_eq!(
+            s.runs(),
+            &[
+                Interval::new(1, 3),
+                Interval::new(7, 7),
+                Interval::new(9, 10)
+            ]
+        );
+        assert_eq!(s.len(), 6);
+    }
+
+    #[test]
+    fn insert_merges_overlaps_and_adjacency() {
+        let mut s = IntervalSet::new();
+        s.insert(Interval::new(5, 7));
+        s.insert(Interval::new(1, 2));
+        assert_eq!(s.runs().len(), 2);
+        s.insert(Interval::new(3, 4)); // adjacent to both => single run
+        assert_eq!(s.runs(), &[Interval::new(1, 7)]);
+        s.insert(Interval::new(0, 10));
+        assert_eq!(s.runs(), &[Interval::new(0, 10)]);
+    }
+
+    #[test]
+    fn contains_membership() {
+        let s = IntervalSet::from_sorted_points(&[0, 1, 5]);
+        assert!(s.contains(0) && s.contains(1) && s.contains(5));
+        assert!(!s.contains(2) && !s.contains(6));
+    }
+
+    #[test]
+    fn intersect_sets() {
+        let a = IntervalSet::from_sorted_points(&[1, 2, 3, 8, 9]);
+        let b = IntervalSet::from_sorted_points(&[2, 3, 4, 9, 10]);
+        let c = a.intersect(&b);
+        assert_eq!(c.runs(), &[Interval::new(2, 3), Interval::new(9, 9)]);
+    }
+
+    #[test]
+    fn union_sets() {
+        let a = IntervalSet::from_sorted_points(&[1, 5]);
+        let b = IntervalSet::from_sorted_points(&[2, 6]);
+        let u = a.union(&b);
+        assert_eq!(u.runs(), &[Interval::new(1, 2), Interval::new(5, 6)]);
+    }
+
+    #[test]
+    fn empty_set_behaviour() {
+        let s = IntervalSet::new();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert!(!s.contains(0));
+        assert!(s.intersect(&s).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_set_semantics_match_btreeset(
+            points_a in proptest::collection::btree_set(0usize..64, 0..40),
+            points_b in proptest::collection::btree_set(0usize..64, 0..40),
+        ) {
+            let va: Vec<usize> = points_a.iter().copied().collect();
+            let vb: Vec<usize> = points_b.iter().copied().collect();
+            let a = IntervalSet::from_sorted_points(&va);
+            let b = IntervalSet::from_sorted_points(&vb);
+            // membership
+            for p in 0..64 {
+                prop_assert_eq!(a.contains(p), points_a.contains(&p));
+            }
+            // len and iteration
+            prop_assert_eq!(a.len(), points_a.len());
+            prop_assert_eq!(a.iter().collect::<Vec<_>>(), va.clone());
+            // union / intersection semantics
+            let u: Vec<usize> = a.union(&b).iter().collect();
+            let want_u: Vec<usize> = points_a.union(&points_b).copied().collect();
+            prop_assert_eq!(u, want_u);
+            let i: Vec<usize> = a.intersect(&b).iter().collect();
+            let want_i: Vec<usize> = points_a.intersection(&points_b).copied().collect();
+            prop_assert_eq!(i, want_i);
+        }
+
+        #[test]
+        fn prop_insert_arbitrary_intervals(
+            ivs in proptest::collection::vec((0usize..50, 0usize..8), 0..25),
+        ) {
+            let mut s = IntervalSet::new();
+            let mut reference = std::collections::BTreeSet::new();
+            for (lo, len) in ivs {
+                s.insert(Interval::new(lo, lo + len));
+                reference.extend(lo..=lo + len);
+            }
+            prop_assert_eq!(s.iter().collect::<Vec<_>>(),
+                            reference.iter().copied().collect::<Vec<_>>());
+            // runs are sorted, disjoint, non-adjacent
+            for w in s.runs().windows(2) {
+                prop_assert!(w[0].hi + 1 < w[1].lo);
+            }
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Static augmented interval tree.
+
+use crate::Interval;
+
+/// An immutable interval tree over `(Interval, T)` pairs.
+///
+/// Built once from a list of intervals (duplicates allowed), it answers
+/// overlap queries in `O(log n + k)`. Internally this is the classic
+/// "augmented balanced BST as array": entries sorted by `lo`, with each
+/// implicit subtree storing the maximum `hi` it contains.
+#[derive(Clone, Debug)]
+pub struct IntervalTree<T> {
+    /// Entries sorted by (lo, hi).
+    entries: Vec<(Interval, T)>,
+    /// `max_hi[k]` = maximum `hi` within the subtree rooted at index `k`
+    /// of the implicit balanced tree (midpoint recursion).
+    max_hi: Vec<usize>,
+}
+
+impl<T> IntervalTree<T> {
+    /// Builds a tree from the given entries.
+    pub fn build(mut entries: Vec<(Interval, T)>) -> Self {
+        entries.sort_by_key(|(iv, _)| (iv.lo, iv.hi));
+        let mut max_hi = vec![0; entries.len()];
+        if !entries.is_empty() {
+            Self::fill_max(&entries, &mut max_hi, 0, entries.len());
+        }
+        IntervalTree { entries, max_hi }
+    }
+
+    /// Computes subtree maxima for the implicit tree on `[lo, hi)`,
+    /// returning the subtree's max `hi`.
+    fn fill_max(entries: &[(Interval, T)], max_hi: &mut [usize], lo: usize, hi: usize) -> usize {
+        let mid = lo + (hi - lo) / 2;
+        let mut m = entries[mid].0.hi;
+        if lo < mid {
+            m = m.max(Self::fill_max(entries, max_hi, lo, mid));
+        }
+        if mid + 1 < hi {
+            m = m.max(Self::fill_max(entries, max_hi, mid + 1, hi));
+        }
+        max_hi[mid] = m;
+        m
+    }
+
+    /// Number of stored intervals.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no intervals are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Collects references to every entry whose interval intersects
+    /// `query`, in ascending `(lo, hi)` order.
+    pub fn overlapping(&self, query: Interval) -> Vec<&(Interval, T)> {
+        let mut out = Vec::new();
+        if !self.entries.is_empty() {
+            self.visit(0, self.entries.len(), query, &mut out);
+        }
+        out
+    }
+
+    /// Calls `f` on every entry whose interval intersects `query`.
+    pub fn for_each_overlapping(&self, query: Interval, mut f: impl FnMut(&Interval, &T)) {
+        for (iv, t) in self.overlapping(query) {
+            f(iv, t);
+        }
+    }
+
+    /// `true` if any stored interval intersects `query`.
+    pub fn any_overlapping(&self, query: Interval) -> bool {
+        // Cheap reuse: stop at first hit via a small closure over visit
+        // would complicate the recursion; the vector version is fine at
+        // the sizes used here.
+        !self.overlapping(query).is_empty()
+    }
+
+    fn visit<'a>(
+        &'a self,
+        lo: usize,
+        hi: usize,
+        query: Interval,
+        out: &mut Vec<&'a (Interval, T)>,
+    ) {
+        let mid = lo + (hi - lo) / 2;
+        // Prune: nothing in this subtree reaches the query.
+        if self.max_hi[mid] < query.lo {
+            return;
+        }
+        if lo < mid {
+            self.visit(lo, mid, query, out);
+        }
+        let entry = &self.entries[mid];
+        if entry.0.intersects(&query) {
+            out.push(entry);
+        }
+        // Right subtree intervals all have lo >= entry.0.lo; if that
+        // already exceeds the query's hi they cannot intersect.
+        if mid + 1 < hi && entry.0.lo <= query.hi {
+            self.visit(mid + 1, hi, query, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn naive<T>(entries: &[(Interval, T)], q: Interval) -> Vec<&(Interval, T)> {
+        entries.iter().filter(|(iv, _)| iv.intersects(&q)).collect()
+    }
+
+    #[test]
+    fn overlap_queries_small() {
+        let t = IntervalTree::build(vec![
+            (Interval::new(0, 3), 'a'),
+            (Interval::new(2, 6), 'b'),
+            (Interval::new(8, 9), 'c'),
+        ]);
+        let hits: Vec<char> = t
+            .overlapping(Interval::new(3, 8))
+            .into_iter()
+            .map(|&(_, c)| c)
+            .collect();
+        assert_eq!(hits, vec!['a', 'b', 'c']);
+        let hits: Vec<char> = t
+            .overlapping(Interval::new(7, 7))
+            .into_iter()
+            .map(|&(_, c)| c)
+            .collect();
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t: IntervalTree<()> = IntervalTree::build(vec![]);
+        assert!(t.is_empty());
+        assert!(t.overlapping(Interval::new(0, 100)).is_empty());
+        assert!(!t.any_overlapping(Interval::new(0, 0)));
+    }
+
+    #[test]
+    fn duplicates_are_kept() {
+        let t = IntervalTree::build(vec![
+            (Interval::new(1, 2), 0),
+            (Interval::new(1, 2), 1),
+            (Interval::new(1, 2), 2),
+        ]);
+        assert_eq!(t.overlapping(Interval::point(1)).len(), 3);
+    }
+
+    #[test]
+    fn point_queries() {
+        let t = IntervalTree::build(vec![
+            (Interval::new(0, 10), 'w'),
+            (Interval::new(5, 5), 'p'),
+        ]);
+        assert_eq!(t.overlapping(Interval::point(5)).len(), 2);
+        assert_eq!(t.overlapping(Interval::point(6)).len(), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_naive_scan(
+            ivs in proptest::collection::vec((0usize..100, 0usize..20), 0..60),
+            q in (0usize..100, 0usize..20),
+        ) {
+            let entries: Vec<(Interval, usize)> = ivs
+                .iter()
+                .enumerate()
+                .map(|(k, &(lo, len))| (Interval::new(lo, lo + len), k))
+                .collect();
+            let tree = IntervalTree::build(entries.clone());
+            let query = Interval::new(q.0, q.0 + q.1);
+            let mut got: Vec<usize> =
+                tree.overlapping(query).into_iter().map(|&(_, k)| k).collect();
+            // The tree sorts entries, so compare as sets.
+            got.sort_unstable();
+            let mut sorted_entries = entries.clone();
+            sorted_entries.sort_by_key(|(iv, _)| (iv.lo, iv.hi));
+            let mut want: Vec<usize> =
+                naive(&sorted_entries, query).into_iter().map(|&(_, k)| k).collect();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

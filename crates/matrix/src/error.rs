@@ -1,0 +1,105 @@
+//! Error type shared by the matrix subsystem.
+
+use std::fmt;
+
+/// Errors produced while constructing, converting, or reading matrices.
+#[derive(Debug)]
+pub enum MatrixError {
+    /// A row or column index was out of bounds for the matrix dimension.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The matrix dimension it was checked against.
+        dim: usize,
+    },
+    /// An entry in the upper triangle was supplied where only the lower
+    /// triangle is accepted.
+    UpperTriangleEntry {
+        /// Row of the offending entry.
+        row: usize,
+        /// Column of the offending entry.
+        col: usize,
+    },
+    /// A permutation vector was not a bijection on `0..n`.
+    InvalidPermutation(String),
+    /// A file could not be parsed.
+    Parse {
+        /// 1-based line number where parsing failed, when known.
+        line: usize,
+        /// Human-readable description of the problem.
+        msg: String,
+    },
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// The matrix violates a structural requirement of the requested
+    /// operation (e.g. an unsymmetric file given to a symmetric reader).
+    Unsupported(String),
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixError::IndexOutOfBounds { index, dim } => {
+                write!(f, "index {index} out of bounds for dimension {dim}")
+            }
+            MatrixError::UpperTriangleEntry { row, col } => {
+                write!(f, "entry ({row}, {col}) lies in the strict upper triangle")
+            }
+            MatrixError::InvalidPermutation(msg) => write!(f, "invalid permutation: {msg}"),
+            MatrixError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            MatrixError::Io(e) => write!(f, "i/o error: {e}"),
+            MatrixError::Unsupported(msg) => write!(f, "unsupported matrix: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MatrixError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for MatrixError {
+    fn from(e: std::io::Error) -> Self {
+        MatrixError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_index_out_of_bounds() {
+        let e = MatrixError::IndexOutOfBounds { index: 7, dim: 5 };
+        assert_eq!(e.to_string(), "index 7 out of bounds for dimension 5");
+    }
+
+    #[test]
+    fn display_upper_triangle() {
+        let e = MatrixError::UpperTriangleEntry { row: 1, col: 3 };
+        assert!(e.to_string().contains("(1, 3)"));
+    }
+
+    #[test]
+    fn io_error_round_trip_preserves_kind() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e = MatrixError::from(io);
+        match e {
+            MatrixError::Io(inner) => assert_eq!(inner.kind(), std::io::ErrorKind::NotFound),
+            other => panic!("expected Io, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_source_is_exposed_for_io() {
+        use std::error::Error as _;
+        let e = MatrixError::from(std::io::Error::other("x"));
+        assert!(e.source().is_some());
+        let e = MatrixError::InvalidPermutation("dup".into());
+        assert!(e.source().is_none());
+    }
+}

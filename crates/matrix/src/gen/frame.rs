@@ -1,0 +1,83 @@
+//! Frame-shell generator (DWT-like structure).
+//!
+//! The Harwell-Boeing `DWT*` matrices come from ship-frame finite-element
+//! models at the Naval Ship R&D Center — stiffened shell panels whose
+//! graphs are nearly planar and factor with little fill. We model a shell
+//! panel as a `rings × per_ring` grid of joints with hoop members along
+//! each ring, axial members between rings, and one diagonal brace per
+//! bay. The panel is left *open* (not wrapped into a closed cylinder):
+//! closing the hoop would thread a global cycle through the model and
+//! roughly double the fill, moving the structure away from the `DWT`
+//! class.
+
+use crate::SymmetricPattern;
+
+/// Open shell panel with `rings` rows of `per_ring` joints each.
+///
+/// Members: hoop edges within each ring, axial edges between consecutive
+/// rings, and one diagonal brace per bay. Joint `(r, k)` has id
+/// `r * per_ring + k`.
+///
+/// Off-diagonal edge count: `rings * (per_ring − 1)` hoop
+/// `+ (rings − 1) * per_ring` axial `+ (rings − 1) * (per_ring − 1)`
+/// diagonal.
+pub fn frame_shell(rings: usize, per_ring: usize) -> SymmetricPattern {
+    assert!(rings > 0 && per_ring > 0);
+    let n = rings * per_ring;
+    let id = |r: usize, k: usize| r * per_ring + k;
+    let mut edges = Vec::with_capacity(3 * n);
+    for r in 0..rings {
+        for k in 0..per_ring {
+            if k + 1 < per_ring {
+                edges.push((id(r, k), id(r, k + 1)));
+            }
+            if r + 1 < rings {
+                edges.push((id(r, k), id(r + 1, k)));
+                if k + 1 < per_ring {
+                    edges.push((id(r, k), id(r + 1, k + 1)));
+                }
+            }
+        }
+    }
+    SymmetricPattern::from_edges(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_counts() {
+        // 4 rings of 8: hoop 4*7 = 28, axial 3*8 = 24, diag 3*7 = 21.
+        let p = frame_shell(4, 8);
+        assert_eq!(p.n(), 32);
+        assert_eq!(p.nnz_strict_lower(), 28 + 24 + 21);
+    }
+
+    #[test]
+    fn frame_is_connected() {
+        assert!(frame_shell(5, 6).to_graph().is_connected());
+        assert!(frame_shell(1, 4).to_graph().is_connected());
+        assert!(frame_shell(3, 1).to_graph().is_connected());
+    }
+
+    #[test]
+    fn dwt512_scale_matches_table1() {
+        // Table 1: DWT512 has 512 eqns, 2007 lower-triangle nonzeros
+        // => 1495 off-diagonal members. A 16 x 32 panel gives
+        // 16*31 + 15*32 + 15*31 = 1441, within 4% of 1495.
+        let p = frame_shell(16, 32);
+        assert_eq!(p.n(), 512);
+        let target = 1495.0;
+        let got = p.nnz_strict_lower() as f64;
+        assert!((got - target).abs() / target < 0.05, "nnz {got}");
+    }
+
+    #[test]
+    fn interior_joint_degree() {
+        // Interior joint: 2 hoop + 2 axial + 2 diagonal = 6.
+        let p = frame_shell(5, 8);
+        let g = p.to_graph();
+        assert_eq!(g.degree(2 * 8 + 3), 6);
+    }
+}

@@ -1,0 +1,115 @@
+//! Random geometric graph generator (CAN-like structure).
+//!
+//! The Harwell-Boeing `CAN*` matrices ("Cannes" structural problems) have
+//! locally clustered, moderately dense connectivity. A random geometric
+//! graph — points in the unit square connected when closer than a radius —
+//! has the same local-clique character, which is what drives the cluster /
+//! dense-block structure the paper's partitioner exploits.
+
+use crate::SymmetricPattern;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Random geometric graph: `n` points uniform in the unit square, an edge
+/// whenever two points are within `radius`. A spanning chain over the
+/// points sorted by x-coordinate is added so the graph is always connected.
+pub fn random_geometric(n: usize, radius: f64, seed: u64) -> SymmetricPattern {
+    assert!(n > 0, "need at least one point");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
+    let r2 = radius * radius;
+    // Bucket grid so construction is O(n) for fixed expected degree; the
+    // cell count is capped near sqrt(n) so tiny radii don't blow up memory.
+    let max_cells = (n as f64).sqrt() as usize + 1;
+    let cells = ((1.0 / radius.max(1e-9)).floor() as usize).clamp(1, max_cells);
+    let cell_of = |p: (f64, f64)| {
+        let cx = ((p.0 * cells as f64) as usize).min(cells - 1);
+        let cy = ((p.1 * cells as f64) as usize).min(cells - 1);
+        (cx, cy)
+    };
+    let mut grid: Vec<Vec<usize>> = vec![Vec::new(); cells * cells];
+    for (i, &p) in pts.iter().enumerate() {
+        let (cx, cy) = cell_of(p);
+        grid[cy * cells + cx].push(i);
+    }
+    let mut edges = Vec::new();
+    for (i, &(xi, yi)) in pts.iter().enumerate() {
+        let (cx, cy) = cell_of((xi, yi));
+        for dy in cy.saturating_sub(1)..=(cy + 1).min(cells - 1) {
+            for dx in cx.saturating_sub(1)..=(cx + 1).min(cells - 1) {
+                for &j in &grid[dy * cells + dx] {
+                    if j <= i {
+                        continue;
+                    }
+                    let (xj, yj) = pts[j];
+                    let d2 = (xi - xj) * (xi - xj) + (yi - yj) * (yi - yj);
+                    if d2 <= r2 {
+                        edges.push((i, j));
+                    }
+                }
+            }
+        }
+    }
+    // Connectivity chain along x-sorted order (mimics a structural spine).
+    let mut by_x: Vec<usize> = (0..n).collect();
+    by_x.sort_by(|&a, &b| pts[a].0.total_cmp(&pts[b].0));
+    for w in by_x.windows(2) {
+        edges.push((w[0], w[1]));
+    }
+    SymmetricPattern::from_edges(n, edges)
+}
+
+/// Picks the radius so the expected mean degree is `deg` for `n` points in
+/// the unit square (`π r² n = deg`).
+pub fn radius_for_mean_degree(n: usize, deg: f64) -> f64 {
+    (deg / (std::f64::consts::PI * n as f64)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_is_connected() {
+        for seed in 0..4 {
+            let p = random_geometric(300, 0.05, seed);
+            assert!(p.to_graph().is_connected(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn geometric_is_deterministic() {
+        assert_eq!(random_geometric(100, 0.1, 5), random_geometric(100, 0.1, 5));
+    }
+
+    #[test]
+    fn mean_degree_close_to_requested() {
+        let n = 2000;
+        let deg = 10.0;
+        let r = radius_for_mean_degree(n, deg);
+        let p = random_geometric(n, r, 11);
+        let mean = 2.0 * p.nnz_strict_lower() as f64 / n as f64;
+        // Boundary effects lower the true mean a little; spanning chain
+        // raises it a little. Accept a broad band.
+        assert!(
+            (mean - deg).abs() / deg < 0.30,
+            "mean degree {mean} vs requested {deg}"
+        );
+    }
+
+    #[test]
+    fn zero_radius_leaves_only_chain() {
+        let p = random_geometric(50, 0.0, 2);
+        assert_eq!(p.nnz_strict_lower(), 49);
+        assert!(p.to_graph().is_connected());
+    }
+
+    #[test]
+    fn single_point() {
+        let p = random_geometric(1, 0.5, 0);
+        assert_eq!(p.n(), 1);
+        assert_eq!(p.nnz_strict_lower(), 0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Regular-grid discretizations of the Laplacian.
+
+use crate::SymmetricPattern;
+
+/// Node id of grid point `(x, y)` on an `nx`-wide grid (row-major).
+#[inline]
+fn id(nx: usize, x: usize, y: usize) -> usize {
+    y * nx + x
+}
+
+/// 5-point finite-difference discretization on an `nx × ny` grid: each node
+/// couples to its north/south/east/west neighbours.
+pub fn grid5(nx: usize, ny: usize) -> SymmetricPattern {
+    let n = nx * ny;
+    let mut edges = Vec::with_capacity(2 * n);
+    for y in 0..ny {
+        for x in 0..nx {
+            if x + 1 < nx {
+                edges.push((id(nx, x, y), id(nx, x + 1, y)));
+            }
+            if y + 1 < ny {
+                edges.push((id(nx, x, y), id(nx, x, y + 1)));
+            }
+        }
+    }
+    SymmetricPattern::from_edges(n, edges)
+}
+
+/// 9-point finite-difference discretization on an `nx × ny` grid: each node
+/// couples to all eight surrounding neighbours.
+///
+/// `lap9(30, 30)` is the paper's `LAP30` matrix exactly: 900 equations and
+/// `4322` lower-triangle nonzeros (Table 1).
+pub fn lap9(nx: usize, ny: usize) -> SymmetricPattern {
+    let n = nx * ny;
+    let mut edges = Vec::with_capacity(4 * n);
+    for y in 0..ny {
+        for x in 0..nx {
+            let v = id(nx, x, y);
+            if x + 1 < nx {
+                edges.push((v, id(nx, x + 1, y)));
+            }
+            if y + 1 < ny {
+                edges.push((v, id(nx, x, y + 1)));
+                if x + 1 < nx {
+                    edges.push((v, id(nx, x + 1, y + 1)));
+                }
+                if x > 0 {
+                    edges.push((v, id(nx, x - 1, y + 1)));
+                }
+            }
+        }
+    }
+    SymmetricPattern::from_edges(n, edges)
+}
+
+/// 5-point **finite element** mesh on an `ex × ey` grid of quadrilateral
+/// elements: each element has four corner nodes plus one centre node, and
+/// the assembled stiffness matrix couples every pair of nodes that share an
+/// element (a 5-clique per element).
+///
+/// The matrix has `(ex+1)(ey+1) + ex·ey` unknowns. For `ex = ey = 4`
+/// (a "5×5 grid" of nodes) this is `25 + 16 = 41`, reproducing the 41×41
+/// matrix of the paper's Figure 2.
+pub fn grid5_fe(ex: usize, ey: usize) -> SymmetricPattern {
+    let nxv = ex + 1; // vertex grid width
+    let nv = nxv * (ey + 1); // number of corner vertices
+    let n = nv + ex * ey; // plus one centre per element
+    let mut edges = Vec::new();
+    for cy in 0..ey {
+        for cx in 0..ex {
+            let corners = [
+                id(nxv, cx, cy),
+                id(nxv, cx + 1, cy),
+                id(nxv, cx, cy + 1),
+                id(nxv, cx + 1, cy + 1),
+            ];
+            let centre = nv + cy * ex + cx;
+            // 5-clique over {corners, centre}.
+            for a in 0..4 {
+                edges.push((corners[a], centre));
+                for b in (a + 1)..4 {
+                    edges.push((corners[a], corners[b]));
+                }
+            }
+        }
+    }
+    SymmetricPattern::from_edges(n, edges)
+}
+
+/// 7-point finite-difference discretization of the Laplacian on an
+/// `nx × ny × nz` box: each node couples to its six axis neighbours.
+/// Node `(x, y, z)` has id `(z * ny + y) * nx + x`.
+///
+/// Not used by the paper's tables; provided to extend the study to 3-D
+/// problems, where clusters are wider and blocking pays off sooner.
+pub fn grid7(nx: usize, ny: usize, nz: usize) -> SymmetricPattern {
+    let n = nx * ny * nz;
+    let id3 = |x: usize, y: usize, z: usize| (z * ny + y) * nx + x;
+    let mut edges = Vec::with_capacity(3 * n);
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                if x + 1 < nx {
+                    edges.push((id3(x, y, z), id3(x + 1, y, z)));
+                }
+                if y + 1 < ny {
+                    edges.push((id3(x, y, z), id3(x, y + 1, z)));
+                }
+                if z + 1 < nz {
+                    edges.push((id3(x, y, z), id3(x, y, z + 1)));
+                }
+            }
+        }
+    }
+    SymmetricPattern::from_edges(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid5_counts() {
+        // 3x3 grid: 9 nodes, 12 edges (6 horizontal + 6 vertical).
+        let p = grid5(3, 3);
+        assert_eq!(p.n(), 9);
+        assert_eq!(p.nnz_strict_lower(), 12);
+    }
+
+    #[test]
+    fn grid5_corner_degree() {
+        let p = grid5(3, 3);
+        let g = p.to_graph();
+        assert_eq!(g.degree(0), 2); // corner
+        assert_eq!(g.degree(4), 4); // centre
+    }
+
+    #[test]
+    fn lap9_interior_degree_is_8() {
+        let p = lap9(5, 5);
+        let g = p.to_graph();
+        assert_eq!(g.degree(12), 8); // centre of 5x5
+        assert_eq!(g.degree(0), 3); // corner
+    }
+
+    #[test]
+    fn lap30_matches_paper_table1() {
+        // Table 1: LAP30 has 900 equations and 4322 nonzeros.
+        let p = lap9(30, 30);
+        assert_eq!(p.n(), 900);
+        assert_eq!(p.nnz_lower(), 4322);
+    }
+
+    #[test]
+    fn grid5_fe_is_41x41_for_4x4_elements() {
+        // The paper's Figure 2 example: 41 x 41.
+        let p = grid5_fe(4, 4);
+        assert_eq!(p.n(), 41);
+        // Every centre node couples to exactly its 4 corners.
+        let g = p.to_graph();
+        for c in 25..41 {
+            assert_eq!(g.degree(c), 4, "centre {c}");
+        }
+    }
+
+    #[test]
+    fn grid5_fe_corner_cliques() {
+        let p = grid5_fe(1, 1);
+        // Single element: 5 nodes, complete graph K5 = 10 edges.
+        assert_eq!(p.n(), 5);
+        assert_eq!(p.nnz_strict_lower(), 10);
+    }
+
+    #[test]
+    fn grids_are_connected() {
+        assert!(grid5(4, 7).to_graph().is_connected());
+        assert!(lap9(6, 3).to_graph().is_connected());
+        assert!(grid5_fe(3, 2).to_graph().is_connected());
+    }
+
+    #[test]
+    fn grid7_counts_and_degrees() {
+        // 3x3x3: edges = 3 * 2*3*3 = 54; interior node degree 6.
+        let p = grid7(3, 3, 3);
+        assert_eq!(p.n(), 27);
+        assert_eq!(p.nnz_strict_lower(), 54);
+        let g = p.to_graph();
+        assert_eq!(g.degree(13), 6); // centre
+        assert_eq!(g.degree(0), 3); // corner
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn grid7_degenerates_to_lower_dimensions() {
+        // nz = 1 is the 5-point 2-D grid; ny = nz = 1 is a path.
+        assert_eq!(grid7(4, 5, 1), grid5(4, 5));
+        let path = grid7(6, 1, 1);
+        assert_eq!(path.nnz_strict_lower(), 5);
+    }
+
+    #[test]
+    fn degenerate_grids() {
+        let p = grid5(1, 1);
+        assert_eq!(p.n(), 1);
+        assert_eq!(p.nnz_strict_lower(), 0);
+        let p = grid5(1, 4); // a path
+        assert_eq!(p.nnz_strict_lower(), 3);
+    }
+}

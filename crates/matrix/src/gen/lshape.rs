@@ -1,0 +1,111 @@
+//! L-shaped triangular-mesh generator (LSHP-like structure).
+//!
+//! Alan George's `LSHP` problems are right-triangulated meshes on an
+//! L-shaped domain. We build the L as a `(2m+1) × (2m+1)` vertex grid with
+//! the open upper-right `(m+1) × (m+1)` block of vertices removed, and
+//! triangulate each remaining unit square with its down-right diagonal, so
+//! interior vertices have degree 6 exactly as in a structured triangular
+//! mesh.
+
+use crate::SymmetricPattern;
+
+/// Returns `true` if grid vertex `(x, y)` belongs to the L-shaped domain.
+#[inline]
+fn in_domain(m: usize, x: usize, y: usize) -> bool {
+    // Keep vertices with x <= m or y <= m, i.e. remove the open quadrant
+    // {x > m, y > m}; the re-entrant corner lines stay in the domain.
+    x <= m || y <= m
+}
+
+/// L-shaped right-triangulated mesh with grid half-width `m`.
+///
+/// The vertex set is `{(x, y) : 0 <= x, y <= 2m, x <= m or y <= m}`, which
+/// has `(2m+1)² − m²` vertices — for `m = 18` this is `1369 − 324 = 1045`,
+/// within ~3.5% of the paper's `LSHP1009`. Edges are the horizontal,
+/// vertical, and down-right diagonal mesh lines.
+pub fn lshape(m: usize) -> SymmetricPattern {
+    let w = 2 * m + 1;
+    // Assign compact ids to domain vertices in row-major order.
+    let mut ids = vec![usize::MAX; w * w];
+    let mut n = 0;
+    for y in 0..w {
+        for x in 0..w {
+            if in_domain(m, x, y) {
+                ids[y * w + x] = n;
+                n += 1;
+            }
+        }
+    }
+    let mut edges = Vec::with_capacity(3 * n);
+    let vid = |x: usize, y: usize| ids[y * w + x];
+    for y in 0..w {
+        for x in 0..w {
+            if !in_domain(m, x, y) {
+                continue;
+            }
+            let v = vid(x, y);
+            if x + 1 < w && in_domain(m, x + 1, y) {
+                edges.push((v, vid(x + 1, y)));
+            }
+            if y + 1 < w && in_domain(m, x, y + 1) {
+                edges.push((v, vid(x, y + 1)));
+            }
+            // Down-right diagonal triangulation.
+            if x + 1 < w && y + 1 < w && in_domain(m, x + 1, y + 1) {
+                edges.push((v, vid(x + 1, y + 1)));
+            }
+        }
+    }
+    SymmetricPattern::from_edges(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lshape_vertex_count() {
+        // (2m+1)^2 - m^2 vertices: the removed open quadrant has m*m nodes.
+        for m in 1..6 {
+            let p = lshape(m);
+            assert_eq!(p.n(), (2 * m + 1) * (2 * m + 1) - m * m, "m = {m}");
+        }
+    }
+
+    #[test]
+    fn lshape_m18_close_to_lshp1009() {
+        let p = lshape(18);
+        assert_eq!(p.n(), 1045);
+        // Edge count within 10% of the paper's (3937 - 1009) / 2 ... note
+        // Table 1 counts the lower triangle including the diagonal:
+        // 3937 - 1009 = 2928 strict-lower entries.
+        let target = 2928.0;
+        let got = p.nnz_strict_lower() as f64;
+        assert!(
+            (got - target).abs() / target < 0.10,
+            "strict lower nnz {got} vs target {target}"
+        );
+    }
+
+    #[test]
+    fn lshape_is_connected() {
+        assert!(lshape(4).to_graph().is_connected());
+    }
+
+    #[test]
+    fn lshape_interior_degree_is_6() {
+        let p = lshape(4);
+        let g = p.to_graph();
+        // Vertex (1,1) is interior: compact id = row 0 has 9 vertices,
+        // row 1 starts at 9, so (1,1) = 10.
+        assert_eq!(g.degree(10), 6);
+    }
+
+    #[test]
+    fn lshape_smallest_case() {
+        // m = 1: 3x3 grid minus the single (2,2) vertex = 8 vertices.
+        let p = lshape(1);
+        assert_eq!(p.n(), 8);
+        assert!(p.to_graph().is_connected());
+    }
+}

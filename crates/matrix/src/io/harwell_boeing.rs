@@ -1,0 +1,554 @@
+//! Harwell-Boeing exchange format (fixed-column Fortran layout).
+//!
+//! Reads the assembled symmetric types used by the paper's test set:
+//! `PSA` (pattern) and `RSA` (real values). Data lines are decoded with a
+//! small Fortran edit-descriptor interpreter (`(16I5)`, `(5E16.8)`, ...)
+//! because fixed-width fields may abut without separating whitespace.
+
+use crate::{Coo, MatrixError};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// A parsed Fortran numeric edit descriptor: `count` fields of `width`
+/// characters per line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct FortranFormat {
+    count: usize,
+    width: usize,
+}
+
+impl FortranFormat {
+    /// Parses descriptors like `(16I5)`, `(5E16.8)`, `(1P,4E20.12)`,
+    /// `(4D20.12)`, `(10F7.1)`. Scale factors and commas are ignored; only
+    /// the repeat count and field width matter for slicing.
+    fn parse(s: &str) -> Result<FortranFormat, MatrixError> {
+        let t: String = s
+            .trim()
+            .trim_start_matches('(')
+            .trim_end_matches(')')
+            .to_ascii_uppercase();
+        // Drop scale factors such as "1P," and surrounding commas.
+        let core = t
+            .split(',')
+            .map(str::trim)
+            .find(|part| part.contains(['I', 'E', 'F', 'D', 'G']))
+            .ok_or_else(|| MatrixError::Parse {
+                line: 0,
+                msg: format!("unrecognized Fortran format {s:?}"),
+            })?
+            .to_string();
+        let letter_pos = core.find(['I', 'E', 'F', 'D', 'G']).expect("checked above");
+        let count: usize = if letter_pos == 0 {
+            1
+        } else {
+            core[..letter_pos].parse().map_err(|_| MatrixError::Parse {
+                line: 0,
+                msg: format!("bad repeat count in format {s:?}"),
+            })?
+        };
+        let rest = &core[letter_pos + 1..];
+        let width_str = rest.split('.').next().unwrap_or("");
+        let width: usize = width_str.parse().map_err(|_| MatrixError::Parse {
+            line: 0,
+            msg: format!("bad field width in format {s:?}"),
+        })?;
+        if count == 0 || width == 0 {
+            return Err(MatrixError::Parse {
+                line: 0,
+                msg: format!("degenerate Fortran format {s:?}"),
+            });
+        }
+        Ok(FortranFormat { count, width })
+    }
+
+    /// Slices one line into at most `count` fixed-width trimmed fields,
+    /// stopping at the end of the line.
+    fn fields<'a>(&self, line: &'a str) -> Vec<&'a str> {
+        let bytes = line.as_bytes();
+        let mut out = Vec::with_capacity(self.count);
+        for k in 0..self.count {
+            let start = k * self.width;
+            if start >= bytes.len() {
+                break;
+            }
+            let end = (start + self.width).min(bytes.len());
+            let f = line[start..end].trim();
+            if !f.is_empty() {
+                out.push(f);
+            }
+        }
+        out
+    }
+}
+
+fn take_line(
+    lines: &mut impl Iterator<Item = std::io::Result<String>>,
+    lineno: &mut usize,
+    what: &str,
+) -> Result<String, MatrixError> {
+    *lineno += 1;
+    match lines.next() {
+        Some(l) => Ok(l?),
+        None => Err(MatrixError::Parse {
+            line: *lineno,
+            msg: format!("unexpected end of file while reading {what}"),
+        }),
+    }
+}
+
+fn field(line: &str, start: usize, end: usize) -> &str {
+    let len = line.len();
+    line[start.min(len)..end.min(len)].trim()
+}
+
+/// Reads a Harwell-Boeing `PSA`/`RSA` stream into a [`Coo`] matrix.
+/// Pattern files get value `1.0` for every entry.
+pub fn read_hb<R: Read>(reader: R) -> Result<Coo, MatrixError> {
+    let mut lines = BufReader::new(reader).lines();
+    let mut lineno = 0usize;
+
+    let _title = take_line(&mut lines, &mut lineno, "title card")?;
+    let card2 = take_line(&mut lines, &mut lineno, "counts card")?;
+    let parse_i = |s: &str, lineno: usize| -> Result<usize, MatrixError> {
+        if s.is_empty() {
+            return Ok(0);
+        }
+        s.parse().map_err(|_| MatrixError::Parse {
+            line: lineno,
+            msg: format!("invalid integer {s:?}"),
+        })
+    };
+    let ptrcrd = parse_i(field(&card2, 14, 28), lineno)?;
+    let indcrd = parse_i(field(&card2, 28, 42), lineno)?;
+    let valcrd = parse_i(field(&card2, 42, 56), lineno)?;
+    let rhscrd = parse_i(field(&card2, 56, 70), lineno)?;
+
+    let card3 = take_line(&mut lines, &mut lineno, "type card")?;
+    let mxtype = field(&card3, 0, 3).to_ascii_uppercase();
+    let ty: Vec<char> = mxtype.chars().collect();
+    if ty.len() != 3 {
+        return Err(MatrixError::Parse {
+            line: lineno,
+            msg: format!("bad matrix type {mxtype:?}"),
+        });
+    }
+    let pattern_only = match ty[0] {
+        'P' => true,
+        'R' => false,
+        other => {
+            return Err(MatrixError::Unsupported(format!(
+                "unsupported value type {other:?} (only P/R)"
+            )))
+        }
+    };
+    if ty[1] != 'S' {
+        return Err(MatrixError::Unsupported(format!(
+            "only symmetric (S) matrices are supported, got {:?}",
+            ty[1]
+        )));
+    }
+    if ty[2] != 'A' {
+        return Err(MatrixError::Unsupported(
+            "only assembled (A) matrices are supported".into(),
+        ));
+    }
+    let nrow = parse_i(field(&card3, 14, 28), lineno)?;
+    let ncol = parse_i(field(&card3, 28, 42), lineno)?;
+    let nnz = parse_i(field(&card3, 42, 56), lineno)?;
+    if nrow != ncol {
+        return Err(MatrixError::Unsupported(format!(
+            "matrix is {nrow} x {ncol}, not square"
+        )));
+    }
+
+    let card4 = take_line(&mut lines, &mut lineno, "format card")?;
+    let ptrfmt = FortranFormat::parse(field(&card4, 0, 16))?;
+    let indfmt = FortranFormat::parse(field(&card4, 16, 32))?;
+    let valfmt = if valcrd > 0 {
+        Some(FortranFormat::parse(field(&card4, 32, 52))?)
+    } else {
+        None
+    };
+    if rhscrd > 0 {
+        // Skip the RHS format card; RHS data (after values) is ignored.
+        let _ = take_line(&mut lines, &mut lineno, "rhs format card")?;
+    }
+
+    // Column pointers (1-based, ncol + 1 of them).
+    let mut colptr: Vec<usize> = Vec::with_capacity(ncol + 1);
+    for _ in 0..ptrcrd {
+        let l = take_line(&mut lines, &mut lineno, "column pointers")?;
+        for f in ptrfmt.fields(&l) {
+            colptr.push(parse_i(f, lineno)?);
+        }
+    }
+    if colptr.len() < ncol + 1 {
+        return Err(MatrixError::Parse {
+            line: lineno,
+            msg: format!(
+                "expected {} column pointers, got {}",
+                ncol + 1,
+                colptr.len()
+            ),
+        });
+    }
+    colptr.truncate(ncol + 1);
+
+    // Row indices (1-based).
+    let mut rowind: Vec<usize> = Vec::with_capacity(nnz);
+    for _ in 0..indcrd {
+        let l = take_line(&mut lines, &mut lineno, "row indices")?;
+        for f in indfmt.fields(&l) {
+            rowind.push(parse_i(f, lineno)?);
+        }
+    }
+    if rowind.len() < nnz {
+        return Err(MatrixError::Parse {
+            line: lineno,
+            msg: format!("expected {} row indices, got {}", nnz, rowind.len()),
+        });
+    }
+    rowind.truncate(nnz);
+
+    // Values.
+    let mut values: Vec<f64> = Vec::with_capacity(if pattern_only { 0 } else { nnz });
+    if let Some(vf) = valfmt {
+        'outer: for _ in 0..valcrd {
+            let l = take_line(&mut lines, &mut lineno, "values")?;
+            for f in vf.fields(&l) {
+                let fixed = f.replace(['D', 'd'], "E");
+                values.push(fixed.parse::<f64>().map_err(|_| MatrixError::Parse {
+                    line: lineno,
+                    msg: format!("invalid value {f:?}"),
+                })?);
+                if values.len() == nnz {
+                    break 'outer;
+                }
+            }
+        }
+        if !pattern_only && values.len() < nnz {
+            return Err(MatrixError::Parse {
+                line: lineno,
+                msg: format!("expected {} values, got {}", nnz, values.len()),
+            });
+        }
+    }
+
+    // Assemble. HB symmetric files store the lower triangle column-wise.
+    let mut coo = Coo::with_capacity(nrow, nnz);
+    for j in 0..ncol {
+        let (s, e) = (colptr[j], colptr[j + 1]);
+        if s < 1 || e < s || e - 1 > nnz {
+            return Err(MatrixError::Parse {
+                line: lineno,
+                msg: format!(
+                    "column pointer range ({s}, {e}) invalid for column {}",
+                    j + 1
+                ),
+            });
+        }
+        for k in (s - 1)..(e - 1) {
+            let i = rowind[k];
+            if i < 1 || i > nrow {
+                return Err(MatrixError::Parse {
+                    line: lineno,
+                    msg: format!("row index {i} out of range"),
+                });
+            }
+            let v = if pattern_only { 1.0 } else { values[k] };
+            coo.push(i - 1, j, v)?;
+        }
+    }
+    Ok(coo)
+}
+
+/// Reads a Harwell-Boeing file from disk.
+pub fn read_hb_file<P: AsRef<Path>>(path: P) -> Result<Coo, MatrixError> {
+    read_hb(std::fs::File::open(path)?)
+}
+
+/// Writes the structure of a [`Coo`] matrix as a Harwell-Boeing `PSA` file
+/// (pattern symmetric assembled, formats `(16I5)` widened as needed).
+pub fn write_hb_pattern<W: Write>(w: &mut W, coo: &Coo, title: &str) -> Result<(), MatrixError> {
+    let n = coo.n();
+    let csc = coo.to_csc();
+    // Build 1-based CSC arrays (lower triangle incl. diagonal).
+    let mut colptr = Vec::with_capacity(n + 1);
+    let mut rowind = Vec::new();
+    colptr.push(1usize);
+    for j in 0..n {
+        for &i in csc.col_rows(j) {
+            rowind.push(i + 1);
+        }
+        colptr.push(rowind.len() + 1);
+    }
+    let nnz = rowind.len();
+
+    let maxval = colptr.last().copied().unwrap_or(1).max(n).max(1);
+    let width = (maxval as f64).log10().floor() as usize + 2; // digits + 1 space
+    let per_line = (80 / width).max(1);
+    let fmt = format!("({per_line}I{width})");
+    let card_count = |items: usize| items.div_ceil(per_line);
+    let ptrcrd = card_count(colptr.len());
+    let indcrd = card_count(rowind.len());
+    let totcrd = ptrcrd + indcrd;
+
+    writeln!(
+        w,
+        "{:<72}{:<8}",
+        title.chars().take(72).collect::<String>(),
+        "SPFACTOR"
+    )?;
+    writeln!(w, "{totcrd:>14}{ptrcrd:>14}{indcrd:>14}{:>14}{:>14}", 0, 0)?;
+    writeln!(w, "{:<14}{:>14}{:>14}{:>14}{:>14}", "PSA", n, n, nnz, 0)?;
+    writeln!(w, "{:<16}{:<16}{:<20}{:<20}", fmt, fmt, "", "")?;
+
+    let write_ints = |w: &mut W, data: &[usize]| -> Result<(), MatrixError> {
+        for chunk in data.chunks(per_line) {
+            let mut line = String::with_capacity(chunk.len() * width);
+            for &v in chunk {
+                line.push_str(&format!("{v:>width$}"));
+            }
+            writeln!(w, "{line}")?;
+        }
+        Ok(())
+    };
+    write_ints(w, &colptr)?;
+    write_ints(w, &rowind)?;
+    Ok(())
+}
+
+/// Writes a [`Coo`] matrix with values as a Harwell-Boeing `RSA` file
+/// (real symmetric assembled; values in `(4E20.12)`).
+pub fn write_hb<W: Write>(w: &mut W, coo: &Coo, title: &str) -> Result<(), MatrixError> {
+    let n = coo.n();
+    let csc = coo.to_csc();
+    let mut colptr = Vec::with_capacity(n + 1);
+    let mut rowind = Vec::new();
+    let mut values = Vec::new();
+    colptr.push(1usize);
+    for j in 0..n {
+        for (&i, &v) in csc.col_rows(j).iter().zip(csc.col_values(j)) {
+            rowind.push(i + 1);
+            values.push(v);
+        }
+        colptr.push(rowind.len() + 1);
+    }
+    let nnz = rowind.len();
+
+    let maxval = colptr.last().copied().unwrap_or(1).max(n).max(1);
+    let width = (maxval as f64).log10().floor() as usize + 2;
+    let per_line = (80 / width).max(1);
+    let ifmt = format!("({per_line}I{width})");
+    let vfmt = "(4E20.12)";
+    let card_count = |items: usize, per: usize| items.div_ceil(per);
+    let ptrcrd = card_count(colptr.len(), per_line);
+    let indcrd = card_count(rowind.len(), per_line);
+    let valcrd = card_count(values.len(), 4);
+    let totcrd = ptrcrd + indcrd + valcrd;
+
+    writeln!(
+        w,
+        "{:<72}{:<8}",
+        title.chars().take(72).collect::<String>(),
+        "SPFACTOR"
+    )?;
+    writeln!(
+        w,
+        "{totcrd:>14}{ptrcrd:>14}{indcrd:>14}{valcrd:>14}{:>14}",
+        0
+    )?;
+    writeln!(w, "{:<14}{:>14}{:>14}{:>14}{:>14}", "RSA", n, n, nnz, 0)?;
+    writeln!(w, "{:<16}{:<16}{:<20}{:<20}", ifmt, ifmt, vfmt, "")?;
+
+    let write_ints = |w: &mut W, data: &[usize]| -> Result<(), MatrixError> {
+        for chunk in data.chunks(per_line) {
+            let mut line = String::with_capacity(chunk.len() * width);
+            for &v in chunk {
+                line.push_str(&format!("{v:>width$}"));
+            }
+            writeln!(w, "{line}")?;
+        }
+        Ok(())
+    };
+    write_ints(w, &colptr)?;
+    write_ints(w, &rowind)?;
+    for chunk in values.chunks(4) {
+        let mut line = String::with_capacity(chunk.len() * 20);
+        for &v in chunk {
+            line.push_str(&format!("{v:>20.12E}"));
+        }
+        writeln!(w, "{line}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fortran_format_parsing() {
+        assert_eq!(
+            FortranFormat::parse("(16I5)").unwrap(),
+            FortranFormat {
+                count: 16,
+                width: 5
+            }
+        );
+        assert_eq!(
+            FortranFormat::parse("(5E16.8)").unwrap(),
+            FortranFormat {
+                count: 5,
+                width: 16
+            }
+        );
+        assert_eq!(
+            FortranFormat::parse("(1P,4E20.12)").unwrap(),
+            FortranFormat {
+                count: 4,
+                width: 20
+            }
+        );
+        assert_eq!(
+            FortranFormat::parse("(4D20.12)").unwrap(),
+            FortranFormat {
+                count: 4,
+                width: 20
+            }
+        );
+        assert_eq!(
+            FortranFormat::parse("(I5)").unwrap(),
+            FortranFormat { count: 1, width: 5 }
+        );
+        assert!(FortranFormat::parse("(XYZ)").is_err());
+    }
+
+    #[test]
+    fn fortran_fields_slicing() {
+        let f = FortranFormat { count: 4, width: 3 };
+        assert_eq!(f.fields("  1  2  3"), vec!["1", "2", "3"]);
+        // Abutting fields with no whitespace.
+        let f = FortranFormat { count: 3, width: 2 };
+        assert_eq!(f.fields("101112"), vec!["10", "11", "12"]);
+    }
+
+    /// A tiny hand-written PSA file: the 3x3 tridiagonal pattern.
+    const PSA: &str = "\
+tiny test pattern                                                       TEST
+             3             1             1             0             0
+PSA                        3             3             5             0
+(16I5)          (16I5)
+    1    3    5    6
+    1    2    2    3    3
+";
+
+    #[test]
+    fn reads_psa_pattern() {
+        let coo = read_hb(PSA.as_bytes()).unwrap();
+        assert_eq!(coo.n(), 3);
+        let p = coo.to_pattern();
+        assert!(p.contains(1, 0));
+        assert!(p.contains(2, 1));
+        assert!(!p.contains(2, 0));
+    }
+
+    /// RSA with values in (3E12.4)-ish layout.
+    const RSA: &str = "\
+tiny real symmetric                                                     TESTR
+             4             1             1             2             0
+RSA                        3             3             5             0
+(16I5)          (16I5)          (3E12.4)
+    1    3    5    6
+    1    2    2    3    3
+  4.0000E+00 -1.0000E+00  4.0000E+00
+ -1.0000E+00  4.0000E+00
+";
+
+    #[test]
+    fn reads_rsa_values() {
+        let coo = read_hb(RSA.as_bytes()).unwrap();
+        let m = coo.to_csc();
+        assert_eq!(m.diagonal(), vec![4.0, 4.0, 4.0]);
+        assert_eq!(m.col_values(0), &[4.0, -1.0]);
+    }
+
+    #[test]
+    fn rejects_unsymmetric() {
+        let bad = PSA.replace("PSA", "PUA");
+        assert!(read_hb(bad.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_complex() {
+        let bad = PSA.replace("PSA", "CSA");
+        assert!(read_hb(bad.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn d_exponents_are_handled() {
+        let rsa = RSA.replace("E+00", "D+00");
+        let coo = read_hb(rsa.as_bytes()).unwrap();
+        assert_eq!(coo.to_csc().diagonal(), vec![4.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut coo = Coo::new(5);
+        for j in 0..5 {
+            coo.push(j, j, 1.0).unwrap();
+        }
+        coo.push(3, 0, 1.0).unwrap();
+        coo.push(4, 2, 1.0).unwrap();
+        coo.push(4, 3, 1.0).unwrap();
+        let mut buf = Vec::new();
+        write_hb_pattern(&mut buf, &coo, "round trip").unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("round trip"));
+        let back = read_hb(buf.as_slice()).unwrap();
+        assert_eq!(back.to_pattern(), coo.to_pattern());
+        assert_eq!(back.n(), 5);
+    }
+
+    #[test]
+    fn rsa_write_read_round_trip() {
+        let mut coo = Coo::new(4);
+        coo.push(0, 0, 4.25).unwrap();
+        coo.push(1, 1, 3.5).unwrap();
+        coo.push(2, 2, 2.0).unwrap();
+        coo.push(3, 3, 1.0).unwrap();
+        coo.push(2, 0, -0.125).unwrap();
+        coo.push(3, 1, 0.0625).unwrap();
+        let mut buf = Vec::new();
+        write_hb(&mut buf, &coo, "rsa round trip").unwrap();
+        let back = read_hb(buf.as_slice()).unwrap();
+        assert_eq!(back.to_csc(), coo.to_csc());
+    }
+
+    #[test]
+    fn rsa_round_trip_preserves_many_values() {
+        let mut coo = Coo::new(10);
+        for j in 0..10usize {
+            coo.push(j, j, 1.0 + j as f64 * 0.37).unwrap();
+            if j + 3 < 10 {
+                coo.push(j + 3, j, -(j as f64) / 7.0).unwrap();
+            }
+        }
+        let mut buf = Vec::new();
+        write_hb(&mut buf, &coo, "many values").unwrap();
+        let back = read_hb(buf.as_slice()).unwrap().to_csc();
+        let orig = coo.to_csc();
+        assert_eq!(back.n(), orig.n());
+        for j in 0..10 {
+            for (a, b) in back.col_values(j).iter().zip(orig.col_values(j)) {
+                assert!((a - b).abs() < 1e-11, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_file_errors() {
+        let truncated = &PSA[..PSA.len() - 30];
+        assert!(read_hb(truncated.as_bytes()).is_err());
+    }
+}

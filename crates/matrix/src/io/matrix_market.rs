@@ -1,0 +1,248 @@
+//! MatrixMarket coordinate format.
+//!
+//! Supports `matrix coordinate real symmetric` and `matrix coordinate
+//! pattern symmetric` (the only variants meaningful for Cholesky input).
+//! General (unsymmetric) files are rejected rather than silently
+//! symmetrized.
+
+use crate::{Coo, MatrixError};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Parses a symmetric MatrixMarket stream into a [`Coo`] matrix.
+///
+/// For `pattern` files every entry gets value `1.0`. Entries may appear in
+/// either triangle in the file; they are canonicalized to the lower
+/// triangle.
+pub fn read_matrix_market<R: Read>(reader: R) -> Result<Coo, MatrixError> {
+    let mut lines = BufReader::new(reader).lines();
+    let mut lineno = 0usize;
+
+    // Header.
+    let header = loop {
+        match lines.next() {
+            Some(l) => {
+                lineno += 1;
+                let l = l?;
+                if !l.trim().is_empty() {
+                    break l;
+                }
+            }
+            None => {
+                return Err(MatrixError::Parse {
+                    line: lineno,
+                    msg: "empty file".into(),
+                })
+            }
+        }
+    };
+    let head = header.to_ascii_lowercase();
+    let fields: Vec<&str> = head.split_whitespace().collect();
+    if fields.len() < 5 || fields[0] != "%%matrixmarket" || fields[1] != "matrix" {
+        return Err(MatrixError::Parse {
+            line: lineno,
+            msg: format!("not a MatrixMarket matrix header: {header:?}"),
+        });
+    }
+    if fields[2] != "coordinate" {
+        return Err(MatrixError::Unsupported(
+            "only coordinate (sparse) MatrixMarket files are supported".into(),
+        ));
+    }
+    let pattern_only = match fields[3] {
+        "real" | "integer" => false,
+        "pattern" => true,
+        other => {
+            return Err(MatrixError::Unsupported(format!(
+                "unsupported MatrixMarket field type {other:?}"
+            )))
+        }
+    };
+    if fields[4] != "symmetric" {
+        return Err(MatrixError::Unsupported(format!(
+            "only symmetric matrices are supported, got {:?}",
+            fields[4]
+        )));
+    }
+
+    // Size line (skipping comments).
+    let size_line = loop {
+        match lines.next() {
+            Some(l) => {
+                lineno += 1;
+                let l = l?;
+                let t = l.trim();
+                if t.is_empty() || t.starts_with('%') {
+                    continue;
+                }
+                break l;
+            }
+            None => {
+                return Err(MatrixError::Parse {
+                    line: lineno,
+                    msg: "missing size line".into(),
+                })
+            }
+        }
+    };
+    let dims: Vec<&str> = size_line.split_whitespace().collect();
+    if dims.len() != 3 {
+        return Err(MatrixError::Parse {
+            line: lineno,
+            msg: format!("size line must have 3 fields, got {size_line:?}"),
+        });
+    }
+    let parse_usize = |s: &str, lineno: usize| -> Result<usize, MatrixError> {
+        s.parse().map_err(|_| MatrixError::Parse {
+            line: lineno,
+            msg: format!("invalid integer {s:?}"),
+        })
+    };
+    let nrows = parse_usize(dims[0], lineno)?;
+    let ncols = parse_usize(dims[1], lineno)?;
+    let nnz = parse_usize(dims[2], lineno)?;
+    if nrows != ncols {
+        return Err(MatrixError::Unsupported(format!(
+            "matrix is {nrows} x {ncols}, not square"
+        )));
+    }
+
+    let mut coo = Coo::with_capacity(nrows, nnz);
+    let mut seen = 0usize;
+    for l in lines {
+        lineno += 1;
+        let l = l?;
+        let t = l.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let f: Vec<&str> = t.split_whitespace().collect();
+        let need = if pattern_only { 2 } else { 3 };
+        if f.len() < need {
+            return Err(MatrixError::Parse {
+                line: lineno,
+                msg: format!("expected {need} fields, got {t:?}"),
+            });
+        }
+        let i = parse_usize(f[0], lineno)?;
+        let j = parse_usize(f[1], lineno)?;
+        if i == 0 || j == 0 {
+            return Err(MatrixError::Parse {
+                line: lineno,
+                msg: "MatrixMarket indices are 1-based; found 0".into(),
+            });
+        }
+        let v = if pattern_only {
+            1.0
+        } else {
+            f[2].parse::<f64>().map_err(|_| MatrixError::Parse {
+                line: lineno,
+                msg: format!("invalid value {:?}", f[2]),
+            })?
+        };
+        coo.push(i - 1, j - 1, v)?;
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(MatrixError::Parse {
+            line: lineno,
+            msg: format!("header promised {nnz} entries, file had {seen}"),
+        });
+    }
+    Ok(coo)
+}
+
+/// Reads a symmetric MatrixMarket file from disk.
+pub fn read_matrix_market_file<P: AsRef<Path>>(path: P) -> Result<Coo, MatrixError> {
+    read_matrix_market(std::fs::File::open(path)?)
+}
+
+/// Writes a [`Coo`] matrix in `coordinate real symmetric` format.
+pub fn write_matrix_market<W: Write>(w: &mut W, coo: &Coo) -> Result<(), MatrixError> {
+    writeln!(w, "%%MatrixMarket matrix coordinate real symmetric")?;
+    writeln!(w, "% written by spfactor")?;
+    writeln!(w, "{} {} {}", coo.n(), coo.n(), coo.len())?;
+    for (i, j, v) in coo.iter() {
+        writeln!(w, "{} {} {:.17e}", i + 1, j + 1, v)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+%%MatrixMarket matrix coordinate real symmetric
+% a comment
+3 3 4
+1 1 2.0
+2 1 -1.0
+2 2 2.0
+3 3 2.0
+";
+
+    #[test]
+    fn reads_real_symmetric() {
+        let coo = read_matrix_market(SAMPLE.as_bytes()).unwrap();
+        assert_eq!(coo.n(), 3);
+        assert_eq!(coo.len(), 4);
+        let m = coo.to_csc();
+        assert_eq!(m.diagonal(), vec![2.0, 2.0, 2.0]);
+        assert_eq!(m.col_rows(0), &[0, 1]);
+    }
+
+    #[test]
+    fn reads_pattern_symmetric() {
+        let s = "%%MatrixMarket matrix coordinate pattern symmetric\n2 2 1\n2 1\n";
+        let coo = read_matrix_market(s.as_bytes()).unwrap();
+        assert_eq!(coo.len(), 1);
+        let p = coo.to_pattern();
+        assert!(p.contains(1, 0));
+    }
+
+    #[test]
+    fn rejects_general_symmetry() {
+        let s = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1.0\n";
+        assert!(read_matrix_market(s.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_entry_count() {
+        let s = "%%MatrixMarket matrix coordinate real symmetric\n2 2 2\n1 1 1.0\n";
+        assert!(read_matrix_market(s.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_based_indices() {
+        let s = "%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n0 1 1.0\n";
+        assert!(read_matrix_market(s.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_rectangular() {
+        let s = "%%MatrixMarket matrix coordinate real symmetric\n2 3 0\n";
+        assert!(read_matrix_market(s.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut coo = Coo::new(4);
+        coo.push(0, 0, 4.0).unwrap();
+        coo.push(2, 0, -1.5).unwrap();
+        coo.push(3, 3, 2.25).unwrap();
+        let mut buf = Vec::new();
+        write_matrix_market(&mut buf, &coo).unwrap();
+        let back = read_matrix_market(buf.as_slice()).unwrap();
+        assert_eq!(back.n(), 4);
+        let a = coo.to_csc();
+        let b = back.to_csc();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn header_is_case_insensitive() {
+        let s = "%%MATRIXMARKET MATRIX COORDINATE REAL SYMMETRIC\n1 1 1\n1 1 3.0\n";
+        assert!(read_matrix_market(s.as_bytes()).is_ok());
+    }
+}

@@ -1,0 +1,15 @@
+//! Matrix file formats.
+//!
+//! Two readers/writers are provided so the *original* Harwell-Boeing test
+//! files (or any other symmetric matrix) can be run through the pipeline:
+//!
+//! * [`matrix_market`] — the MatrixMarket coordinate format (`%%MatrixMarket
+//!   matrix coordinate real|pattern symmetric`).
+//! * [`harwell_boeing`] — the fixed-column Harwell-Boeing format (`PSA`/`RSA`
+//!   types), as distributed with the original 1989 test set.
+
+pub mod harwell_boeing;
+pub mod matrix_market;
+
+pub use harwell_boeing::{read_hb, read_hb_file, write_hb, write_hb_pattern};
+pub use matrix_market::{read_matrix_market, read_matrix_market_file, write_matrix_market};

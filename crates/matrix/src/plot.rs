@@ -1,0 +1,83 @@
+//! ASCII rendering of sparsity structures (used to regenerate the paper's
+//! Figure 2).
+
+use crate::SymmetricPattern;
+
+/// Renders the lower triangle of a symmetric pattern as ASCII art:
+/// `#` for a structural nonzero, `.` for a zero, blank above the diagonal.
+///
+/// For matrices wider than `max_cols`, columns/rows are aggregated into
+/// character-sized bins and a `#` is shown when any entry in a bin is
+/// nonzero.
+pub fn ascii_lower(pattern: &SymmetricPattern, max_cols: usize) -> String {
+    let n = pattern.n();
+    if n == 0 {
+        return String::new();
+    }
+    let bins = n.min(max_cols.max(1));
+    let bin_of = |i: usize| i * bins / n;
+    // Mark filled bins.
+    let mut cell = vec![false; bins * bins];
+    for j in 0..n {
+        cell[bin_of(j) * bins + bin_of(j)] = true; // implicit diagonal
+        for &i in pattern.col(j) {
+            cell[bin_of(i) * bins + bin_of(j)] = true;
+        }
+    }
+    let mut out = String::with_capacity(bins * (bins + 1));
+    for r in 0..bins {
+        for c in 0..bins {
+            out.push(if c > r {
+                ' '
+            } else if cell[r * bins + c] {
+                '#'
+            } else {
+                '.'
+            });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders with per-entry resolution and 1-character cells; suitable for
+/// small matrices such as the Figure 2 example (41×41).
+pub fn ascii_lower_exact(pattern: &SymmetricPattern) -> String {
+    ascii_lower(pattern, pattern.n())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_small_pattern() {
+        let p = SymmetricPattern::from_edges(3, [(1, 0), (2, 1)]);
+        let s = ascii_lower_exact(&p);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines, vec!["#  ", "## ", ".##",]);
+    }
+
+    #[test]
+    fn empty_matrix_renders_empty() {
+        let p = SymmetricPattern::from_edges(0, std::iter::empty());
+        assert_eq!(ascii_lower_exact(&p), "");
+    }
+
+    #[test]
+    fn binning_reduces_size() {
+        let p = crate::gen::lap9(10, 10);
+        let s = ascii_lower(&p, 20);
+        assert_eq!(s.lines().count(), 20);
+        assert!(s.lines().all(|l| l.len() == 20));
+    }
+
+    #[test]
+    fn diagonal_always_marked() {
+        let p = SymmetricPattern::from_edges(4, std::iter::empty());
+        let s = ascii_lower_exact(&p);
+        for (r, line) in s.lines().enumerate() {
+            assert_eq!(line.as_bytes()[r], b'#');
+        }
+    }
+}

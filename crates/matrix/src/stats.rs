@@ -1,0 +1,103 @@
+//! Structure statistics for reporting (Table 1 style descriptions).
+
+use crate::SymmetricPattern;
+
+/// Summary statistics of a symmetric sparsity structure.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StructureStats {
+    /// Matrix dimension (number of equations).
+    pub n: usize,
+    /// Nonzeros in the lower triangle including the diagonal (the count the
+    /// paper's Table 1 reports).
+    pub nnz_lower: usize,
+    /// Nonzeros of the full symmetric matrix.
+    pub nnz_full: usize,
+    /// Mean number of off-diagonal neighbours per row.
+    pub mean_degree: f64,
+    /// Maximum off-diagonal degree.
+    pub max_degree: usize,
+    /// Structural bandwidth: max |i − j| over nonzeros.
+    pub bandwidth: usize,
+    /// Envelope (profile) size: Σ_j (j − min row index in column j of the
+    /// *upper* triangle, i.e. using symmetric structure).
+    pub profile: usize,
+    /// Number of connected components of the adjacency graph.
+    pub components: usize,
+}
+
+/// Computes [`StructureStats`] for a pattern.
+pub fn structure_stats(p: &SymmetricPattern) -> StructureStats {
+    let n = p.n();
+    let g = p.to_graph();
+    let mut bandwidth = 0usize;
+    // first_nbr_below[i] = smallest column j < i with (i, j) nonzero.
+    let mut first_nbr = vec![usize::MAX; n];
+    for (i, j) in p.iter_entries() {
+        bandwidth = bandwidth.max(i - j);
+        if j < first_nbr[i] {
+            first_nbr[i] = j;
+        }
+    }
+    let profile = (0..n)
+        .map(|i| {
+            if first_nbr[i] == usize::MAX {
+                0
+            } else {
+                i - first_nbr[i]
+            }
+        })
+        .sum();
+    let max_degree = (0..n).map(|v| g.degree(v)).max().unwrap_or(0);
+    StructureStats {
+        n,
+        nnz_lower: p.nnz_lower(),
+        nnz_full: p.nnz_full(),
+        mean_degree: if n == 0 {
+            0.0
+        } else {
+            2.0 * p.nnz_strict_lower() as f64 / n as f64
+        },
+        max_degree,
+        bandwidth,
+        profile,
+        components: g.components().1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_tridiagonal() {
+        let p = SymmetricPattern::from_edges(4, [(1, 0), (2, 1), (3, 2)]);
+        let s = structure_stats(&p);
+        assert_eq!(s.n, 4);
+        assert_eq!(s.nnz_lower, 7);
+        assert_eq!(s.nnz_full, 10);
+        assert_eq!(s.bandwidth, 1);
+        assert_eq!(s.profile, 3);
+        assert_eq!(s.max_degree, 2);
+        assert_eq!(s.components, 1);
+    }
+
+    #[test]
+    fn stats_of_diagonal_matrix() {
+        let p = SymmetricPattern::from_edges(3, std::iter::empty());
+        let s = structure_stats(&p);
+        assert_eq!(s.nnz_lower, 3);
+        assert_eq!(s.bandwidth, 0);
+        assert_eq!(s.profile, 0);
+        assert_eq!(s.components, 3);
+        assert_eq!(s.mean_degree, 0.0);
+    }
+
+    #[test]
+    fn lap30_stats_match_table1() {
+        let s = structure_stats(&crate::gen::lap9(30, 30));
+        assert_eq!(s.n, 900);
+        assert_eq!(s.nnz_lower, 4322);
+        assert_eq!(s.bandwidth, 31);
+        assert_eq!(s.components, 1);
+    }
+}

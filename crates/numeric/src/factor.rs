@@ -1,0 +1,287 @@
+//! Sequential left-looking sparse Cholesky.
+
+use crate::NumericError;
+use spfactor_matrix::SymmetricCsc;
+use spfactor_symbolic::SymbolicFactor;
+
+/// The numeric Cholesky factor `L` (`A = L Lᵀ`), stored congruently with
+/// its [`SymbolicFactor`]: per column a diagonal value plus the values of
+/// the strict-lower entries in the symbolic structure's order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NumericFactor {
+    n: usize,
+    /// Diagonal of L.
+    diag: Vec<f64>,
+    /// Strict-lower values, aligned with the symbolic factor's row lists.
+    vals: Vec<f64>,
+    /// Column start offsets into `vals` (copied from the symbolic factor).
+    colptr: Vec<usize>,
+    /// Row indices, aligned with `vals`.
+    rowidx: Vec<usize>,
+}
+
+impl NumericFactor {
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Diagonal entry `L(j, j)`.
+    #[inline]
+    pub fn diag(&self, j: usize) -> f64 {
+        self.diag[j]
+    }
+
+    /// Strict-lower row indices of column `j`.
+    #[inline]
+    pub fn col_rows(&self, j: usize) -> &[usize] {
+        &self.rowidx[self.colptr[j]..self.colptr[j + 1]]
+    }
+
+    /// Strict-lower values of column `j`, aligned with
+    /// [`Self::col_rows`].
+    #[inline]
+    pub fn col_vals(&self, j: usize) -> &[f64] {
+        &self.vals[self.colptr[j]..self.colptr[j + 1]]
+    }
+
+    /// Number of stored nonzeros including the diagonal.
+    pub fn nnz_lower(&self) -> usize {
+        self.n + self.vals.len()
+    }
+
+    /// Computes `L Lᵀ x` — multiplication by the reconstructed matrix,
+    /// used for residual checks without forming `L Lᵀ` explicitly.
+    pub fn mul_llt(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n);
+        // y = Lᵀ x
+        let mut y = vec![0.0; self.n];
+        for j in 0..self.n {
+            let mut acc = self.diag[j] * x[j];
+            for (&i, &v) in self.col_rows(j).iter().zip(self.col_vals(j)) {
+                acc += v * x[i];
+            }
+            y[j] = acc;
+        }
+        // z = L y
+        let mut z = vec![0.0; self.n];
+        for j in 0..self.n {
+            z[j] += self.diag[j] * y[j];
+            for (&i, &v) in self.col_rows(j).iter().zip(self.col_vals(j)) {
+                z[i] += v * y[j];
+            }
+        }
+        z
+    }
+
+    pub(crate) fn from_parts(
+        n: usize,
+        diag: Vec<f64>,
+        vals: Vec<f64>,
+        colptr: Vec<usize>,
+        rowidx: Vec<usize>,
+    ) -> Self {
+        NumericFactor {
+            n,
+            diag,
+            vals,
+            colptr,
+            rowidx,
+        }
+    }
+}
+
+/// Left-looking simplicial Cholesky: computes `L` such that `A = L Lᵀ`.
+///
+/// `a` must be symmetric positive definite with a structure contained in
+/// the symbolic factor's (which holds whenever `symbolic` was computed
+/// from `a`'s pattern).
+pub fn cholesky(
+    a: &SymmetricCsc,
+    symbolic: &SymbolicFactor,
+) -> Result<NumericFactor, NumericError> {
+    let n = a.n();
+    if n != symbolic.n() {
+        return Err(NumericError::StructureMismatch(format!(
+            "matrix is {n}, symbolic factor is {}",
+            symbolic.n()
+        )));
+    }
+    // Copy the symbolic structure.
+    let mut colptr = Vec::with_capacity(n + 1);
+    colptr.push(0);
+    let mut rowidx: Vec<usize> = Vec::with_capacity(symbolic.nnz_strict_lower());
+    for j in 0..n {
+        rowidx.extend_from_slice(symbolic.col(j));
+        colptr.push(rowidx.len());
+    }
+    let mut diag = vec![0.0f64; n];
+    let mut vals = vec![0.0f64; rowidx.len()];
+
+    // Row lists: for each row i, the columns k < i with L(i, k) != 0 and
+    // the position of that value — built incrementally as columns finish.
+    let mut row_cols: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n]; // (k, pos)
+                                                                      // Dense accumulator.
+    let mut acc = vec![0.0f64; n];
+
+    for j in 0..n {
+        let struct_j = &rowidx[colptr[j]..colptr[j + 1]];
+        // Scatter A's column j.
+        let a_rows = a.col_rows(j);
+        let a_vals = a.col_values(j);
+        debug_assert_eq!(a_rows[0], j);
+        let mut dj = a_vals[0];
+        for (&i, &v) in a_rows[1..].iter().zip(&a_vals[1..]) {
+            if !symbolic.contains(i, j) {
+                return Err(NumericError::StructureMismatch(format!(
+                    "A({i}, {j}) not present in symbolic factor"
+                )));
+            }
+            acc[i] = v;
+        }
+        // Left-looking update: for every k with L(j, k) != 0, subtract
+        // L(j, k) * L(:, k) from the accumulator (rows > j) and from the
+        // diagonal. Row lists give the ks in ascending order.
+        for &(k, pos) in &row_cols[j] {
+            let ljk = vals[pos];
+            dj -= ljk * ljk;
+            // Rows of column k strictly below j contribute.
+            let (s, e) = (colptr[k], colptr[k + 1]);
+            // The entries of column k are sorted; those > j start right
+            // after `pos`.
+            for idx in (pos + 1)..e {
+                let i = rowidx[idx];
+                acc[i] -= ljk * vals[idx];
+            }
+            let _ = s;
+        }
+        if dj <= 0.0 {
+            return Err(NumericError::NotPositiveDefinite(j));
+        }
+        let ljj = dj.sqrt();
+        diag[j] = ljj;
+        // Gather, scale, and register in row lists.
+        for (off, &i) in struct_j.iter().enumerate() {
+            let pos = colptr[j] + off;
+            let v = acc[i] / ljj;
+            vals[pos] = v;
+            acc[i] = 0.0;
+            row_cols[i].push((j, pos));
+        }
+    }
+
+    Ok(NumericFactor::from_parts(n, diag, vals, colptr, rowidx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spfactor_matrix::{gen, Coo, SymmetricPattern};
+
+    fn factor_setup(a: &SymmetricCsc) -> SymbolicFactor {
+        SymbolicFactor::from_pattern(&a.pattern())
+    }
+
+    #[test]
+    fn known_3x3_factorization() {
+        // A = [[4, 2, 0], [2, 5, 2], [0, 2, 5]]
+        // L = [[2, 0, 0], [1, 2, 0], [0, 1, 2]]
+        let mut coo = Coo::new(3);
+        coo.push(0, 0, 4.0).unwrap();
+        coo.push(1, 0, 2.0).unwrap();
+        coo.push(1, 1, 5.0).unwrap();
+        coo.push(2, 1, 2.0).unwrap();
+        coo.push(2, 2, 5.0).unwrap();
+        let a = coo.to_csc();
+        let f = factor_setup(&a);
+        let l = cholesky(&a, &f).unwrap();
+        assert_eq!(l.diag(0), 2.0);
+        assert_eq!(l.diag(1), 2.0);
+        assert_eq!(l.diag(2), 2.0);
+        assert_eq!(l.col_vals(0), &[1.0]);
+        assert_eq!(l.col_vals(1), &[1.0]);
+    }
+
+    #[test]
+    fn factorization_with_fill() {
+        // An arrow matrix reversed (dense last row) has no fill; a cycle
+        // has fill — use C4 whose factor fills (2,1).
+        let p = SymmetricPattern::from_edges(4, [(1, 0), (2, 0), (3, 1), (3, 2)]);
+        let a = gen::spd_from_pattern(&p, 3);
+        let f = factor_setup(&a);
+        assert_eq!(f.fill_in(), 1);
+        let l = cholesky(&a, &f).unwrap();
+        // Verify A = L Lᵀ by comparing matvec results.
+        let x = [1.0, -2.0, 0.5, 3.0];
+        let want = a.mul_vec(&x);
+        let got = l.mul_llt(&x);
+        for (w, g) in want.iter().zip(&got) {
+            assert!((w - g).abs() < 1e-10, "{want:?} vs {got:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_non_positive_definite() {
+        let mut coo = Coo::new(2);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(1, 0, 2.0).unwrap();
+        coo.push(1, 1, 1.0).unwrap(); // 1 - 4 < 0
+        let a = coo.to_csc();
+        let f = factor_setup(&a);
+        assert_eq!(cholesky(&a, &f), Err(NumericError::NotPositiveDefinite(1)));
+    }
+
+    #[test]
+    fn rejects_dimension_mismatch() {
+        let p = SymmetricPattern::from_edges(3, [(1, 0)]);
+        let a = gen::spd_from_pattern(&p, 0);
+        let wrong = SymbolicFactor::from_pattern(&SymmetricPattern::from_edges(2, []));
+        assert!(matches!(
+            cholesky(&a, &wrong),
+            Err(NumericError::StructureMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn reconstruction_on_paper_style_matrices() {
+        for (p, seed) in [
+            (gen::lap9(6, 6), 1u64),
+            (gen::grid5(5, 5), 2),
+            (gen::power_network(40, 8, 3), 3),
+            (gen::frame_shell(4, 8), 4),
+        ] {
+            let a = gen::spd_from_pattern(&p, seed);
+            let f = factor_setup(&a);
+            let l = cholesky(&a, &f).unwrap();
+            let x: Vec<f64> = (0..a.n()).map(|i| (i as f64 * 0.7).sin() + 2.0).collect();
+            let want = a.mul_vec(&x);
+            let got = l.mul_llt(&x);
+            let err: f64 = want
+                .iter()
+                .zip(&got)
+                .map(|(w, g)| (w - g).abs())
+                .fold(0.0, f64::max);
+            let scale: f64 = want.iter().map(|w| w.abs()).fold(0.0, f64::max);
+            assert!(err / scale < 1e-12, "relative error {}", err / scale);
+        }
+    }
+
+    #[test]
+    fn factor_nnz_matches_symbolic() {
+        let p = gen::lap9(5, 5);
+        let a = gen::spd_from_pattern(&p, 9);
+        let f = factor_setup(&a);
+        let l = cholesky(&a, &f).unwrap();
+        assert_eq!(l.nnz_lower(), f.nnz_lower());
+    }
+
+    #[test]
+    fn singleton_matrix() {
+        let mut coo = Coo::new(1);
+        coo.push(0, 0, 9.0).unwrap();
+        let a = coo.to_csc();
+        let f = factor_setup(&a);
+        let l = cholesky(&a, &f).unwrap();
+        assert_eq!(l.diag(0), 3.0);
+    }
+}

@@ -1,0 +1,285 @@
+//! Multifrontal Cholesky factorization.
+//!
+//! The third classic organization of sparse Cholesky (after left-looking
+//! simplicial and right-looking supernodal): each supernode assembles a
+//! small dense *frontal matrix* from the original entries plus the
+//! *update matrices* of its children in the supernodal elimination tree,
+//! factors its pivot columns densely, and passes the Schur complement up
+//! as its own update matrix. Children finish before parents (postorder),
+//! so update matrices live on a stack.
+//!
+//! Included because the paper's dense-block clusters *are* supernodes:
+//! the frontal matrices here are exactly the "triangle + rectangles"
+//! shapes the partitioner schedules.
+
+use crate::factor::NumericFactor;
+use crate::NumericError;
+use spfactor_matrix::SymmetricCsc;
+use spfactor_symbolic::{supernode, SymbolicFactor};
+
+/// A child's contribution: dense lower triangle over `rows`.
+struct UpdateMatrix {
+    /// Global row indices (ascending).
+    rows: Vec<usize>,
+    /// Column-major packed lower triangle: entry `(r, c)`, `r >= c`, at
+    /// `offset(c) + (r - c)` with `offset(c) = Σ_{t<c} (len − t)`.
+    data: Vec<f64>,
+}
+
+impl UpdateMatrix {
+    #[inline]
+    fn idx(len: usize, r: usize, c: usize) -> usize {
+        debug_assert!(r >= c && r < len);
+        // offset(c) = c*len - c(c-1)/2, written without underflow at c = 0.
+        c * (2 * len - c + 1) / 2 + (r - c)
+    }
+}
+
+/// Multifrontal Cholesky over the (relaxed) supernodal elimination tree.
+pub fn cholesky_multifrontal(
+    a: &SymmetricCsc,
+    symbolic: &SymbolicFactor,
+    relax_zeros: usize,
+) -> Result<NumericFactor, NumericError> {
+    let n = a.n();
+    if n != symbolic.n() {
+        return Err(NumericError::StructureMismatch(format!(
+            "matrix is {n}, symbolic factor is {}",
+            symbolic.n()
+        )));
+    }
+    // Output storage congruent with the symbolic factor.
+    let mut colptr = Vec::with_capacity(n + 1);
+    colptr.push(0usize);
+    let mut rowidx: Vec<usize> = Vec::with_capacity(symbolic.nnz_strict_lower());
+    for j in 0..n {
+        rowidx.extend_from_slice(symbolic.col(j));
+        colptr.push(rowidx.len());
+    }
+    let mut diag = vec![0.0f64; n];
+    let mut vals = vec![0.0f64; rowidx.len()];
+
+    // Supernodes and their tree: parent(sn) = supernode of the first
+    // below-row (the etree parent of the last column).
+    let sns = supernode::relaxed_supernodes(symbolic, relax_zeros);
+    let nsn = sns.len();
+    let mut sn_of_col = vec![usize::MAX; n];
+    for (k, sn) in sns.iter().enumerate() {
+        for j in sn.clone() {
+            sn_of_col[j] = k;
+        }
+    }
+    let below: Vec<Vec<usize>> = sns
+        .iter()
+        .map(|sn| supernode::below_rows(symbolic, sn))
+        .collect();
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); nsn];
+    let mut roots = Vec::new();
+    for (k, b) in below.iter().enumerate() {
+        match b.first() {
+            Some(&r) => children[sn_of_col[r]].push(k),
+            None => roots.push(k),
+        }
+    }
+
+    // Iterative postorder over the supernode tree, with an update-matrix
+    // stack: a node pops exactly its children's updates (they are on top).
+    let mut stack: Vec<UpdateMatrix> = Vec::new();
+    let mut visit: Vec<(usize, bool)> = roots.iter().rev().map(|&r| (r, false)).collect();
+    while let Some((k, expanded)) = visit.pop() {
+        if !expanded {
+            visit.push((k, true));
+            for &c in children[k].iter().rev() {
+                visit.push((c, false));
+            }
+            continue;
+        }
+        let sn = &sns[k];
+        let w = sn.end - sn.start;
+        let rows_below = &below[k];
+        // Front index set: supernode columns then below rows.
+        let h = w + rows_below.len();
+        let slot_of = |gr: usize| -> usize {
+            if gr < sn.end {
+                gr - sn.start
+            } else {
+                w + rows_below.binary_search(&gr).expect("row in front")
+            }
+        };
+        // Dense front, column-major, lower triangle used.
+        let mut front = vec![0.0f64; h * h];
+        // Seed with A's entries for the supernode's columns.
+        for (c, j) in sn.clone().enumerate() {
+            let arows = a.col_rows(j);
+            let avals = a.col_values(j);
+            front[c * h + c] = avals[0];
+            for (&i, &v) in arows[1..].iter().zip(&avals[1..]) {
+                if !symbolic.contains(i, j) {
+                    return Err(NumericError::StructureMismatch(format!(
+                        "A({i}, {j}) not in symbolic factor"
+                    )));
+                }
+                front[c * h + slot_of(i)] = v;
+            }
+        }
+        // Extend-add the children's update matrices (popped in reverse).
+        for _ in 0..children[k].len() {
+            let upd = stack.pop().expect("child update on stack");
+            let m = upd.rows.len();
+            let slots: Vec<usize> = upd.rows.iter().map(|&gr| slot_of(gr)).collect();
+            for c in 0..m {
+                for r in c..m {
+                    let v = upd.data[UpdateMatrix::idx(m, r, c)];
+                    if v != 0.0 {
+                        let (sr, sc) = (slots[r], slots[c]);
+                        let (lo, hi) = if sr >= sc { (sc, sr) } else { (sr, sc) };
+                        front[lo * h + hi] += v;
+                    }
+                }
+            }
+        }
+        // Partial dense Cholesky of the first w columns.
+        for c in 0..w {
+            let d = front[c * h + c];
+            if d <= 0.0 {
+                return Err(NumericError::NotPositiveDefinite(sn.start + c));
+            }
+            let l = d.sqrt();
+            front[c * h + c] = l;
+            for r in (c + 1)..h {
+                front[c * h + r] /= l;
+            }
+            for c2 in (c + 1)..h {
+                let f = front[c * h + c2];
+                if f != 0.0 {
+                    for r in c2..h {
+                        front[c2 * h + r] -= f * front[c * h + r];
+                    }
+                }
+            }
+        }
+        // Harvest the factored columns.
+        for (c, j) in sn.clone().enumerate() {
+            diag[j] = front[c * h + c];
+            for idx in colptr[j]..colptr[j + 1] {
+                vals[idx] = front[c * h + slot_of(rowidx[idx])];
+            }
+        }
+        // Push the Schur complement as this supernode's update matrix.
+        if !rows_below.is_empty() {
+            let m = rows_below.len();
+            let mut data = vec![0.0f64; m * (m + 1) / 2];
+            for c in 0..m {
+                for r in c..m {
+                    data[UpdateMatrix::idx(m, r, c)] = front[(w + c) * h + (w + r)];
+                }
+            }
+            stack.push(UpdateMatrix {
+                rows: rows_below.clone(),
+                data,
+            });
+        }
+        // A supernode with no below rows is a root of its component and
+        // passes nothing up (it has no parent to pop it).
+    }
+    debug_assert!(stack.is_empty());
+
+    Ok(NumericFactor::from_parts(n, diag, vals, colptr, rowidx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factor::cholesky;
+    use spfactor_matrix::{gen, SymmetricPattern};
+    use spfactor_order::{order, Ordering};
+
+    fn spd(p: &SymmetricPattern, seed: u64) -> (SymmetricCsc, SymbolicFactor) {
+        let perm = order(p, Ordering::paper_default());
+        let a = gen::spd_from_pattern(&p.permute(&perm), seed);
+        let f = SymbolicFactor::from_pattern(&a.pattern());
+        (a, f)
+    }
+
+    fn assert_close(a: &NumericFactor, b: &NumericFactor, tol: f64) {
+        assert_eq!(a.n(), b.n());
+        for j in 0..a.n() {
+            assert!(
+                (a.diag(j) - b.diag(j)).abs() <= tol * a.diag(j).abs(),
+                "diag {j}: {} vs {}",
+                a.diag(j),
+                b.diag(j)
+            );
+            for (x, y) in a.col_vals(j).iter().zip(b.col_vals(j)) {
+                assert!(
+                    (x - y).abs() <= tol * (1.0 + x.abs()),
+                    "col {j}: {x} vs {y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multifrontal_matches_simplicial() {
+        for (p, seed) in [
+            (gen::lap9(8, 8), 1u64),
+            (gen::grid5(6, 6), 2),
+            (gen::frame_shell(4, 8), 3),
+            (gen::power_network(60, 10, 4), 4),
+            (gen::lshape(3), 5),
+        ] {
+            let (a, f) = spd(&p, seed);
+            let seq = cholesky(&a, &f).unwrap();
+            let mf = cholesky_multifrontal(&a, &f, 0).unwrap();
+            assert_close(&seq, &mf, 1e-11);
+        }
+    }
+
+    #[test]
+    fn multifrontal_with_relaxation() {
+        let (a, f) = spd(&gen::lap9(9, 9), 7);
+        let seq = cholesky(&a, &f).unwrap();
+        for relax in [0usize, 1, 3] {
+            let mf = cholesky_multifrontal(&a, &f, relax).unwrap();
+            assert_close(&seq, &mf, 1e-11);
+        }
+    }
+
+    #[test]
+    fn multifrontal_on_disconnected_matrix() {
+        // Two disjoint components: two root supernodes.
+        let p = SymmetricPattern::from_edges(6, [(1, 0), (2, 1), (4, 3), (5, 4)]);
+        let a = gen::spd_from_pattern(&p, 2);
+        let f = SymbolicFactor::from_pattern(&a.pattern());
+        let seq = cholesky(&a, &f).unwrap();
+        let mf = cholesky_multifrontal(&a, &f, 0).unwrap();
+        assert_close(&seq, &mf, 1e-12);
+    }
+
+    #[test]
+    fn multifrontal_detects_indefiniteness() {
+        use spfactor_matrix::Coo;
+        let mut coo = Coo::new(2);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(1, 0, 2.0).unwrap();
+        coo.push(1, 1, 1.0).unwrap();
+        let a = coo.to_csc();
+        let f = SymbolicFactor::from_pattern(&a.pattern());
+        assert!(matches!(
+            cholesky_multifrontal(&a, &f, 0),
+            Err(NumericError::NotPositiveDefinite(_))
+        ));
+    }
+
+    #[test]
+    fn multifrontal_solve_residual_on_lap30() {
+        let m = gen::paper::lap30();
+        let (a, f) = spd(&m.pattern, 30);
+        let l = cholesky_multifrontal(&a, &f, 1).unwrap();
+        let b: Vec<f64> = (0..a.n()).map(|i| ((i % 7) as f64) - 3.0).collect();
+        let mut x = b.clone();
+        crate::solve::lower_solve(&l, &mut x);
+        crate::solve::upper_solve(&l, &mut x);
+        assert!(crate::solve::residual_norm(&a, &x, &b) < 1e-8);
+    }
+}

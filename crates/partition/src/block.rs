@@ -1,0 +1,156 @@
+//! Geometric block types: clusters, dense blocks, unit blocks.
+
+use spfactor_interval::Interval;
+
+/// What a cluster is made of.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClusterKind {
+    /// A single column; the entire column (diagonal plus all below-diagonal
+    /// nonzeros) is one schedulable unit, never subdivided (§3.2).
+    SingleColumn,
+    /// A strip of consecutive columns with a dense triangular block at the
+    /// diagonal and dense rectangular blocks below it.
+    Strip {
+        /// Row extents of the dense rectangles below the triangle —
+        /// the maximal contiguous runs of the strip's below-diagonal row
+        /// set, top to bottom.
+        rect_rows: Vec<Interval>,
+    },
+}
+
+/// A cluster: a column or strip of consecutive columns (§3.1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cluster {
+    /// Cluster index (left to right).
+    pub id: usize,
+    /// Column extent; single columns have `cols.lo == cols.hi`.
+    pub cols: Interval,
+    /// Single column or strip with rectangles.
+    pub kind: ClusterKind,
+}
+
+impl Cluster {
+    /// Width of the column strip.
+    pub fn width(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// `true` for single-column clusters.
+    pub fn is_single(&self) -> bool {
+        matches!(self.kind, ClusterKind::SingleColumn)
+    }
+}
+
+/// Shape of a schedulable unit block — "each unit block is either a
+/// column, a rectangle or a triangle" (§3).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum UnitShape {
+    /// A whole single-column cluster.
+    Column {
+        /// The column index.
+        col: usize,
+    },
+    /// A dense sub-triangle on the diagonal: rows = cols = `extent`.
+    Triangle {
+        /// Row (= column) extent.
+        extent: Interval,
+    },
+    /// A dense sub-rectangle.
+    Rectangle {
+        /// Column extent.
+        cols: Interval,
+        /// Row extent (strictly below `cols` for lower-triangular data).
+        rows: Interval,
+    },
+}
+
+impl UnitShape {
+    /// The column extent of the unit.
+    pub fn col_extent(&self) -> Interval {
+        match *self {
+            UnitShape::Column { col } => Interval::point(col),
+            UnitShape::Triangle { extent } => extent,
+            UnitShape::Rectangle { cols, .. } => cols,
+        }
+    }
+
+    /// The row extent of the unit. For a column this spans from the
+    /// diagonal to the last row of the matrix that the column could touch;
+    /// callers that need the exact row set of a column consult the factor.
+    pub fn row_extent(&self) -> Interval {
+        match *self {
+            UnitShape::Column { col } => Interval::point(col),
+            UnitShape::Triangle { extent } => extent,
+            UnitShape::Rectangle { rows, .. } => rows,
+        }
+    }
+
+    /// Short tag used in classification and display.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            UnitShape::Column { .. } => "col",
+            UnitShape::Triangle { .. } => "tri",
+            UnitShape::Rectangle { .. } => "rect",
+        }
+    }
+}
+
+/// A schedulable unit block.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnitBlock {
+    /// Unit id; ids follow the paper's allocation scan order (clusters
+    /// left to right; within a strip: triangle units top to bottom, then
+    /// triangle-interior rectangles, then each below-rectangle's units
+    /// row-major).
+    pub id: usize,
+    /// Owning cluster id.
+    pub cluster: usize,
+    /// Geometry.
+    pub shape: UnitShape,
+    /// Number of factor nonzeros the unit owns.
+    pub elements: usize,
+    /// Work (paper cost model) performed on this unit's elements.
+    pub work: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_accessors() {
+        let c = Cluster {
+            id: 0,
+            cols: Interval::new(3, 3),
+            kind: ClusterKind::SingleColumn,
+        };
+        assert!(c.is_single());
+        assert_eq!(c.width(), 1);
+        let s = Cluster {
+            id: 1,
+            cols: Interval::new(4, 7),
+            kind: ClusterKind::Strip { rect_rows: vec![] },
+        };
+        assert!(!s.is_single());
+        assert_eq!(s.width(), 4);
+    }
+
+    #[test]
+    fn shape_extents() {
+        let t = UnitShape::Triangle {
+            extent: Interval::new(2, 5),
+        };
+        assert_eq!(t.col_extent(), Interval::new(2, 5));
+        assert_eq!(t.row_extent(), Interval::new(2, 5));
+        assert_eq!(t.tag(), "tri");
+        let r = UnitShape::Rectangle {
+            cols: Interval::new(2, 5),
+            rows: Interval::new(8, 9),
+        };
+        assert_eq!(r.col_extent(), Interval::new(2, 5));
+        assert_eq!(r.row_extent(), Interval::new(8, 9));
+        let c = UnitShape::Column { col: 7 };
+        assert_eq!(c.col_extent(), Interval::point(7));
+        assert_eq!(c.tag(), "col");
+    }
+}

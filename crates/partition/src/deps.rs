@@ -1,0 +1,588 @@
+//! Block-level dependency analysis (§3.3) — the ten categories.
+//!
+//! Every element-level update `L(i,j) -= L(i,k) · L(j,k)` involves up to
+//! two *source* unit blocks (those owning `(i,k)` and `(j,k)`) and one
+//! *target* (owning `(i,j)`). Classified by the shapes of the **external**
+//! sources (sources other than the target itself) and of the target, every
+//! operation falls into exactly one of the paper's ten categories:
+//!
+//! | # | external sources      | target    |
+//! |---|-----------------------|-----------|
+//! | 1 | one column            | column    |
+//! | 2 | one column            | triangle  |
+//! | 3 | one column            | rectangle |
+//! | 4 | one triangle          | rectangle |
+//! | 5 | a triangle + a rect   | rectangle |
+//! | 6 | one rectangle         | column    |
+//! | 7 | two rectangles        | column    |
+//! | 8 | one rectangle         | triangle  |
+//! | 9 | two rectangles        | triangle  |
+//! |10 | two rectangles        | rectangle |
+//!
+//! (Category 10 also covers the degenerate case where both source
+//! elements lie in the *same* rectangle yet the target is a different
+//! rectangle; the paper's template allows `R1 = R2`.) Scaling operations —
+//! a diagonal element scaling the strict-lower entries of its column —
+//! generate dependencies too and are classified with the same table.
+//!
+//! The paper computes these dependencies with interval-tree intersection
+//! tests over block extents; [`category_of`] exposes the same geometric
+//! classification, and [`dependencies`] builds the exact unit-level
+//! dependency graph from the element operations.
+
+use crate::block::UnitShape;
+use crate::units::Partition;
+use spfactor_symbolic::{ops, SymbolicFactor};
+
+/// The paper's ten dependency categories.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DepCategory {
+    /// 1. A column updates a column.
+    ColUpdatesCol,
+    /// 2. A column updates a triangle.
+    ColUpdatesTri,
+    /// 3. A column updates a rectangle.
+    ColUpdatesRect,
+    /// 4. A triangle updates a rectangle.
+    TriUpdatesRect,
+    /// 5. A triangle and a rectangle update a rectangle.
+    TriRectUpdateRect,
+    /// 6. A rectangle updates a column.
+    RectUpdatesCol,
+    /// 7. Two rectangles update a column.
+    TwoRectsUpdateCol,
+    /// 8. A rectangle updates a triangle.
+    RectUpdatesTri,
+    /// 9. Two rectangles update a triangle.
+    TwoRectsUpdateTri,
+    /// 10. Two rectangles update a rectangle.
+    TwoRectsUpdateRect,
+}
+
+impl DepCategory {
+    /// The paper's 1-based category number.
+    pub fn number(&self) -> usize {
+        match self {
+            DepCategory::ColUpdatesCol => 1,
+            DepCategory::ColUpdatesTri => 2,
+            DepCategory::ColUpdatesRect => 3,
+            DepCategory::TriUpdatesRect => 4,
+            DepCategory::TriRectUpdateRect => 5,
+            DepCategory::RectUpdatesCol => 6,
+            DepCategory::TwoRectsUpdateCol => 7,
+            DepCategory::RectUpdatesTri => 8,
+            DepCategory::TwoRectsUpdateTri => 9,
+            DepCategory::TwoRectsUpdateRect => 10,
+        }
+    }
+
+    /// All categories in paper order.
+    pub fn all() -> [DepCategory; 10] {
+        [
+            DepCategory::ColUpdatesCol,
+            DepCategory::ColUpdatesTri,
+            DepCategory::ColUpdatesRect,
+            DepCategory::TriUpdatesRect,
+            DepCategory::TriRectUpdateRect,
+            DepCategory::RectUpdatesCol,
+            DepCategory::TwoRectsUpdateCol,
+            DepCategory::RectUpdatesTri,
+            DepCategory::TwoRectsUpdateTri,
+            DepCategory::TwoRectsUpdateRect,
+        ]
+    }
+}
+
+/// Classifies a dependency by the shapes of its external sources and its
+/// target. `externals` holds one or two **distinct** source units (as
+/// shapes); order is irrelevant. Returns `None` for combinations that
+/// cannot arise from Cholesky updates on a valid partition (e.g. a
+/// triangle updating a column).
+pub fn category_of(externals: &[&UnitShape], target: &UnitShape) -> Option<DepCategory> {
+    use UnitShape as S;
+    let is_col = |s: &UnitShape| matches!(s, S::Column { .. });
+    let is_tri = |s: &UnitShape| matches!(s, S::Triangle { .. });
+    let is_rect = |s: &UnitShape| matches!(s, S::Rectangle { .. });
+    match externals {
+        [s] if is_col(s) => match target {
+            S::Column { .. } => Some(DepCategory::ColUpdatesCol),
+            S::Triangle { .. } => Some(DepCategory::ColUpdatesTri),
+            S::Rectangle { .. } => Some(DepCategory::ColUpdatesRect),
+        },
+        [s] if is_tri(s) => match target {
+            S::Rectangle { .. } => Some(DepCategory::TriUpdatesRect),
+            _ => None,
+        },
+        [s] if is_rect(s) => match target {
+            S::Column { .. } => Some(DepCategory::RectUpdatesCol),
+            S::Triangle { .. } => Some(DepCategory::RectUpdatesTri),
+            // Both source elements in one rectangle, target a different
+            // rectangle: the paper's template 10 with R1 = R2.
+            S::Rectangle { .. } => Some(DepCategory::TwoRectsUpdateRect),
+        },
+        [a, b] => {
+            let (ta, tb) = (is_tri(a), is_tri(b));
+            let (ra, rb) = (is_rect(a), is_rect(b));
+            if (ta && rb) || (ra && tb) {
+                match target {
+                    S::Rectangle { .. } => Some(DepCategory::TriRectUpdateRect),
+                    _ => None,
+                }
+            } else if ra && rb {
+                match target {
+                    S::Column { .. } => Some(DepCategory::TwoRectsUpdateCol),
+                    S::Triangle { .. } => Some(DepCategory::TwoRectsUpdateTri),
+                    S::Rectangle { .. } => Some(DepCategory::TwoRectsUpdateRect),
+                }
+            } else {
+                // Two distinct columns, two distinct triangles, or
+                // col+something: impossible — a column unit owns its whole
+                // column, and two sub-triangles never share a column.
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// The unit-level dependency graph of a partition.
+#[derive(Clone, Debug)]
+pub struct DepGraph {
+    /// `preds[u]` — sorted, distinct unit ids whose data unit `u` reads.
+    preds: Vec<Vec<u32>>,
+    /// `succs[u]` — sorted, distinct unit ids that read data of `u`.
+    succs: Vec<Vec<u32>>,
+    /// Update-operation counts per category (paper numbering 1..=10 at
+    /// index `number - 1`).
+    category_ops: [usize; 10],
+}
+
+impl DepGraph {
+    /// Predecessor units of `u` (sorted, distinct).
+    pub fn preds(&self, u: usize) -> &[u32] {
+        &self.preds[u]
+    }
+
+    /// Successor units of `u` (sorted, distinct).
+    pub fn succs(&self, u: usize) -> &[u32] {
+        &self.succs[u]
+    }
+
+    /// Number of units.
+    pub fn num_units(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Units with no predecessors — the paper's *independent* units,
+    /// allocated first by the scheduler.
+    pub fn independent_units(&self) -> Vec<usize> {
+        (0..self.preds.len())
+            .filter(|&u| self.preds[u].is_empty())
+            .collect()
+    }
+
+    /// Update-operation count for a category.
+    pub fn ops_in_category(&self, c: DepCategory) -> usize {
+        self.category_ops[c.number() - 1]
+    }
+
+    /// Total dependency edges.
+    pub fn num_edges(&self) -> usize {
+        self.preds.iter().map(Vec::len).sum()
+    }
+}
+
+/// Builds the exact dependency graph of `partition` by enumerating every
+/// update and scaling operation of the factorization, and tallies the
+/// paper's ten categories.
+pub fn dependencies(factor: &SymbolicFactor, partition: &Partition) -> DepGraph {
+    let nu = partition.num_units();
+    let owner = partition.owner_map();
+    let eid = |i: usize, j: usize| factor.entry_id(i, j).expect("factor entry");
+    let mut pred_sets: Vec<Vec<u32>> = vec![Vec::new(); nu];
+    let mut category_ops = [0usize; 10];
+
+    let record = |srcs: [u32; 2],
+                  nsrc: usize,
+                  tgt: u32,
+                  cats: &mut [usize; 10],
+                  preds: &mut Vec<Vec<u32>>| {
+        let mut ext = [0u32; 2];
+        let mut ne = 0;
+        for &s in &srcs[..nsrc] {
+            if s != tgt && (ne == 0 || ext[0] != s) {
+                ext[ne] = s;
+                ne += 1;
+            }
+        }
+        if ne == 0 {
+            return;
+        }
+        for &s in &ext[..ne] {
+            preds[tgt as usize].push(s);
+        }
+        let shapes: Vec<&UnitShape> = ext[..ne]
+            .iter()
+            .map(|&s| &partition.units[s as usize].shape)
+            .collect();
+        if let Some(c) = category_of(&shapes, &partition.units[tgt as usize].shape) {
+            cats[c.number() - 1] += 1;
+        }
+    };
+
+    ops::for_each_update(factor, |op| {
+        let tgt = owner[eid(op.i, op.j)];
+        let s1 = owner[eid(op.i, op.k)];
+        let s2 = owner[eid(op.j, op.k)];
+        let (srcs, nsrc) = if s1 == s2 {
+            ([s1, 0], 1)
+        } else {
+            ([s1, s2], 2)
+        };
+        record(srcs, nsrc, tgt, &mut category_ops, &mut pred_sets);
+    });
+    ops::for_each_scaling(factor, |i, j| {
+        let tgt = owner[eid(i, j)];
+        let s = owner[eid(j, j)];
+        record([s, 0], 1, tgt, &mut category_ops, &mut pred_sets);
+    });
+
+    let mut preds = pred_sets;
+    for l in &mut preds {
+        l.sort_unstable();
+        l.dedup();
+    }
+    let mut succs: Vec<Vec<u32>> = vec![Vec::new(); nu];
+    for (u, l) in preds.iter().enumerate() {
+        for &s in l {
+            succs[s as usize].push(u as u32);
+        }
+    }
+    for l in &mut succs {
+        l.sort_unstable();
+        l.dedup();
+    }
+    DepGraph {
+        preds,
+        succs,
+        category_ops,
+    }
+}
+
+/// Geometric (interval-tree) dependency construction — the paper's own
+/// §3.3 strategy: "using this classification and the interval tree
+/// structure, the partitioner computes the dependencies efficiently".
+///
+/// A source unit `S` can feed target `T` only if `S` lies strictly to the
+/// left (`cols(S).lo < cols(T).lo`, sources live in earlier columns) or
+/// supplies the diagonal for scaling (`cols(S)` meets `cols(T)`), **and**
+/// `S`'s row span intersects `T`'s row-or-column span (the source
+/// elements `(i,k)`, `(j,k)` have row indices equal to the target's `i`
+/// or `j`). These are the intersection tests of the ten templates,
+/// evaluated with an [`IntervalTree`] over row spans.
+///
+/// The geometric graph is a **superset** of the exact one returned by
+/// [`dependencies`]: intersection of extents is necessary but not
+/// sufficient, because the dense blocks are embedded in a sparse matrix
+/// (zeros between blocks break some candidate pairs). Tests assert the
+/// containment; the exact builder remains the one the scheduler uses.
+pub fn geometric_dependencies(factor: &SymbolicFactor, partition: &Partition) -> Vec<Vec<u32>> {
+    use spfactor_interval::{Interval, IntervalTree};
+    let nu = partition.num_units();
+    // Row span of each unit: for columns, the diagonal through the last
+    // stored row of that column; for triangles/rectangles, their extent.
+    let row_span = |u: usize| -> Interval {
+        match &partition.units[u].shape {
+            UnitShape::Column { col } => {
+                let hi = factor.col(*col).last().copied().unwrap_or(*col);
+                Interval::new(*col, hi)
+            }
+            UnitShape::Triangle { extent } => *extent,
+            UnitShape::Rectangle { rows, .. } => *rows,
+        }
+    };
+    let tree = IntervalTree::build((0..nu).map(|u| (row_span(u), u as u32)).collect());
+    let mut preds: Vec<Vec<u32>> = vec![Vec::new(); nu];
+    for (t, pred_list) in preds.iter_mut().enumerate() {
+        let tcols = partition.units[t].shape.col_extent();
+        let trows = partition.units[t].shape.row_extent();
+        // Candidate sources: row span meets the target's column span
+        // (supplying the (j, k) factor of a pair, or the diagonal for a
+        // scaling) or the target's row span (supplying (i, k)).
+        let mut cand: Vec<u32> = Vec::new();
+        tree.for_each_overlapping(tcols, |_, &s| cand.push(s));
+        tree.for_each_overlapping(trows, |_, &s| cand.push(s));
+        cand.sort_unstable();
+        cand.dedup();
+        for s in cand {
+            if s as usize == t {
+                continue;
+            }
+            let scols = partition.units[s as usize].shape.col_extent();
+            // Sources live in columns at or before the target's: a pair
+            // source has k < j <= cols(T).hi; the scaling source (the
+            // diagonal) has k = j within cols(T).
+            if scols.lo <= tcols.hi {
+                pred_list.push(s);
+            }
+        }
+    }
+    preds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PartitionParams;
+    use spfactor_interval::Interval;
+    use spfactor_matrix::{gen, SymmetricPattern};
+    use spfactor_order::{order, Ordering};
+
+    fn factor_of(p: &SymmetricPattern) -> SymbolicFactor {
+        let perm = order(p, Ordering::paper_default());
+        SymbolicFactor::from_pattern(&p.permute(&perm))
+    }
+
+    fn col() -> UnitShape {
+        UnitShape::Column { col: 0 }
+    }
+    fn tri() -> UnitShape {
+        UnitShape::Triangle {
+            extent: Interval::new(0, 2),
+        }
+    }
+    fn rect() -> UnitShape {
+        UnitShape::Rectangle {
+            cols: Interval::new(0, 2),
+            rows: Interval::new(5, 6),
+        }
+    }
+
+    /// One unit test per paper category (the Figure 4 cases).
+    #[test]
+    fn category_classification_covers_figure4() {
+        use DepCategory::*;
+        // (a)–(c): a column updates a column / triangle / rectangle.
+        assert_eq!(category_of(&[&col()], &col()), Some(ColUpdatesCol));
+        assert_eq!(category_of(&[&col()], &tri()), Some(ColUpdatesTri));
+        assert_eq!(category_of(&[&col()], &rect()), Some(ColUpdatesRect));
+        // (c2): a triangle updates a rectangle.
+        assert_eq!(category_of(&[&tri()], &rect()), Some(TriUpdatesRect));
+        // (d): a triangle and a rectangle update a rectangle.
+        assert_eq!(
+            category_of(&[&tri(), &rect()], &rect()),
+            Some(TriRectUpdateRect)
+        );
+        assert_eq!(
+            category_of(&[&rect(), &tri()], &rect()),
+            Some(TriRectUpdateRect)
+        );
+        // (e): a rectangle updates a column.
+        assert_eq!(category_of(&[&rect()], &col()), Some(RectUpdatesCol));
+        // (f): two rectangles update a column.
+        assert_eq!(
+            category_of(&[&rect(), &rect()], &col()),
+            Some(TwoRectsUpdateCol)
+        );
+        // (g): a rectangle updates a triangle.
+        assert_eq!(category_of(&[&rect()], &tri()), Some(RectUpdatesTri));
+        // (h): two rectangles update a triangle.
+        assert_eq!(
+            category_of(&[&rect(), &rect()], &tri()),
+            Some(TwoRectsUpdateTri)
+        );
+        // (i): two rectangles update a rectangle.
+        assert_eq!(
+            category_of(&[&rect(), &rect()], &rect()),
+            Some(TwoRectsUpdateRect)
+        );
+    }
+
+    #[test]
+    fn impossible_combinations_are_rejected() {
+        assert_eq!(category_of(&[&tri()], &col()), None);
+        assert_eq!(category_of(&[&tri()], &tri()), None);
+        assert_eq!(category_of(&[&tri(), &rect()], &col()), None);
+        assert_eq!(category_of(&[&tri(), &rect()], &tri()), None);
+        assert_eq!(category_of(&[&col(), &rect()], &rect()), None);
+        assert_eq!(category_of(&[&tri(), &tri()], &rect()), None);
+    }
+
+    #[test]
+    fn category_numbers_are_one_to_ten() {
+        let nums: Vec<usize> = DepCategory::all().iter().map(|c| c.number()).collect();
+        assert_eq!(nums, (1..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn every_classified_op_lands_in_a_category() {
+        // On a real partition every external dependency must classify —
+        // the category table is complete for valid partitions.
+        let p = gen::lap9(10, 10);
+        let f = factor_of(&p);
+        let part = Partition::build(&f, &PartitionParams::with_grain(4));
+        let g = dependencies(&f, &part);
+        // Total classified ops equals total external ops. Re-count.
+        let owner = part.owner_map();
+        let mut external_ops = 0usize;
+        ops::for_each_update(&f, |op| {
+            let t = owner[f.entry_id(op.i, op.j).unwrap()];
+            let s1 = owner[f.entry_id(op.i, op.k).unwrap()];
+            let s2 = owner[f.entry_id(op.j, op.k).unwrap()];
+            if s1 != t || s2 != t {
+                external_ops += 1;
+            }
+        });
+        ops::for_each_scaling(&f, |i, j| {
+            let t = owner[f.entry_id(i, j).unwrap()];
+            let s = owner[f.entry_id(j, j).unwrap()];
+            if s != t {
+                external_ops += 1;
+            }
+        });
+        let classified: usize = DepCategory::all()
+            .iter()
+            .map(|&c| g.ops_in_category(c))
+            .sum();
+        assert_eq!(
+            classified, external_ops,
+            "some operations were unclassifiable"
+        );
+    }
+
+    #[test]
+    fn dependency_edges_point_backwards() {
+        // A predecessor's cluster can never come after the target's
+        // cluster... more precisely, a source element's column is < the
+        // target's column, so preds have unit id <= target id except
+        // within-column scaling. Check the weaker invariant: no self
+        // edges and sorted distinct lists.
+        let p = gen::lap9(8, 8);
+        let f = factor_of(&p);
+        let part = Partition::build(&f, &PartitionParams::with_grain(4));
+        let g = dependencies(&f, &part);
+        for u in 0..g.num_units() {
+            let preds = g.preds(u);
+            assert!(preds.windows(2).all(|w| w[0] < w[1]));
+            assert!(!preds.contains(&(u as u32)), "self dependency on {u}");
+        }
+    }
+
+    #[test]
+    fn succs_are_inverse_of_preds() {
+        let p = gen::lap9(7, 7);
+        let f = factor_of(&p);
+        let part = Partition::build(&f, &PartitionParams::with_grain(4));
+        let g = dependencies(&f, &part);
+        for u in 0..g.num_units() {
+            for &s in g.preds(u) {
+                assert!(g.succs(s as usize).contains(&(u as u32)));
+            }
+            for &t in g.succs(u) {
+                assert!(g.preds(t as usize).contains(&(u as u32)));
+            }
+        }
+    }
+
+    #[test]
+    fn independent_units_have_no_incoming_data() {
+        let p = gen::lap9(9, 9);
+        let f = factor_of(&p);
+        let part = Partition::build(&f, &PartitionParams::with_grain(4));
+        let g = dependencies(&f, &part);
+        let indep = g.independent_units();
+        assert!(
+            !indep.is_empty(),
+            "a sparse factor must have leading independent units"
+        );
+        for u in indep {
+            assert!(g.preds(u).is_empty());
+        }
+    }
+
+    #[test]
+    fn column_partition_deps_match_column_structure() {
+        // In the per-column partition, unit j depends on unit k (k < j)
+        // iff L(j,k) is a factor nonzero: exactly the column dependency of
+        // Figure 1.
+        let p = gen::lap9(5, 5);
+        let f = factor_of(&p);
+        let part = Partition::columns(&f);
+        let g = dependencies(&f, &part);
+        for j in 0..f.n() {
+            let preds: Vec<usize> = g.preds(j).iter().map(|&u| u as usize).collect();
+            let mut expected: Vec<usize> = (0..j).filter(|&k| f.contains(j, k)).collect();
+            expected.sort_unstable();
+            assert_eq!(preds, expected, "column {j}");
+        }
+        // All dependencies in the column partition are column-updates-column.
+        for c in DepCategory::all() {
+            if c != DepCategory::ColUpdatesCol {
+                assert_eq!(g.ops_in_category(c), 0, "{c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn geometric_graph_contains_exact_graph() {
+        // The interval-tree construction must never miss an exact edge —
+        // on several structures and grains.
+        for (p, grain) in [
+            (gen::lap9(10, 10), 4usize),
+            (gen::lap9(10, 10), 25),
+            (gen::grid5(8, 8), 4),
+            (gen::power_network(60, 12, 3), 4),
+        ] {
+            let f = factor_of(&p);
+            let part = Partition::build(&f, &PartitionParams::with_grain(grain));
+            let exact = dependencies(&f, &part);
+            let geo = geometric_dependencies(&f, &part);
+            for (u, geo_u) in geo.iter().enumerate() {
+                for &s in exact.preds(u) {
+                    assert!(
+                        geo_u.contains(&s),
+                        "geometric graph missing exact edge {s} -> {u} (grain {grain})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn geometric_graph_is_reasonably_tight() {
+        // The over-approximation should stay within a small factor of the
+        // exact edge count on a mesh problem (it prunes by both column
+        // order and row intersection).
+        let p = gen::lap9(12, 12);
+        let f = factor_of(&p);
+        let part = Partition::build(&f, &PartitionParams::with_grain(4));
+        let exact = dependencies(&f, &part);
+        let geo = geometric_dependencies(&f, &part);
+        let exact_edges: usize = (0..part.num_units()).map(|u| exact.preds(u).len()).sum();
+        let geo_edges: usize = geo.iter().map(Vec::len).sum();
+        assert!(geo_edges >= exact_edges);
+        assert!(
+            geo_edges <= exact_edges * 12,
+            "geometric {geo_edges} vs exact {exact_edges}: too loose"
+        );
+    }
+
+    #[test]
+    fn block_partition_uses_block_categories() {
+        // A grid factor with strips must exhibit at least the
+        // triangle/rectangle categories.
+        let p = gen::lap9(12, 12);
+        let f = factor_of(&p);
+        let mut params = PartitionParams::with_grain(4);
+        params.min_cluster_width = 2;
+        let part = Partition::build(&f, &params);
+        let g = dependencies(&f, &part);
+        assert!(g.ops_in_category(DepCategory::TriUpdatesRect) > 0);
+        let rect_cats = g.ops_in_category(DepCategory::RectUpdatesCol)
+            + g.ops_in_category(DepCategory::TwoRectsUpdateCol)
+            + g.ops_in_category(DepCategory::RectUpdatesTri)
+            + g.ops_in_category(DepCategory::TwoRectsUpdateTri)
+            + g.ops_in_category(DepCategory::TwoRectsUpdateRect);
+        assert!(rect_cats > 0, "no rectangle-source dependencies found");
+    }
+}

@@ -1,0 +1,140 @@
+//! Alternative allocators used for ablation studies.
+//!
+//! The paper notes "the load balance can be improved by using more
+//! sophisticated strategies to allocate blocks to processors" — these
+//! allocators bracket the paper's heuristic from both sides: pure
+//! round-robin ignores locality entirely (best spread, worst traffic
+//! locality), greedy least-loaded optimizes balance online, and the
+//! locality-first variant always follows a predecessor processor.
+
+use crate::Assignment;
+use spfactor_partition::{DepGraph, Partition};
+
+/// Round-robin over unit blocks in scan order: unit `u` → `u mod P`.
+pub fn round_robin_allocation(partition: &Partition, nprocs: usize) -> Assignment {
+    assert!(nprocs > 0);
+    Assignment {
+        nprocs,
+        proc_of_unit: (0..partition.num_units())
+            .map(|u| (u % nprocs) as u32)
+            .collect(),
+    }
+}
+
+/// Online greedy: each unit (in scan order) goes to the processor with
+/// the least accumulated work (ties to the lower processor id).
+pub fn greedy_work_allocation(partition: &Partition, nprocs: usize) -> Assignment {
+    assert!(nprocs > 0);
+    let mut work = vec![0usize; nprocs];
+    let mut proc_of_unit = Vec::with_capacity(partition.num_units());
+    for u in &partition.units {
+        let p = (0..nprocs).min_by_key(|&p| (work[p], p)).unwrap();
+        work[p] += u.work;
+        proc_of_unit.push(p as u32);
+    }
+    Assignment {
+        nprocs,
+        proc_of_unit,
+    }
+}
+
+/// Locality-first: each unit joins the processor of its first allocated
+/// predecessor; units without predecessors go to the least-loaded
+/// processor. An extreme point: minimal traffic, poor balance.
+pub fn locality_first_allocation(
+    partition: &Partition,
+    deps: &DepGraph,
+    nprocs: usize,
+) -> Assignment {
+    assert!(nprocs > 0);
+    let mut work = vec![0usize; nprocs];
+    let mut proc_of_unit: Vec<u32> = Vec::with_capacity(partition.num_units());
+    for u in &partition.units {
+        let inherited = deps
+            .preds(u.id)
+            .iter()
+            .find(|&&s| (s as usize) < proc_of_unit.len())
+            .map(|&s| proc_of_unit[s as usize] as usize);
+        let p = inherited.unwrap_or_else(|| (0..nprocs).min_by_key(|&p| (work[p], p)).unwrap());
+        work[p] += u.work;
+        proc_of_unit.push(p as u32);
+    }
+    Assignment {
+        nprocs,
+        proc_of_unit,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spfactor_matrix::gen;
+    use spfactor_order::{order, Ordering};
+    use spfactor_partition::{dependencies, PartitionParams};
+    use spfactor_symbolic::SymbolicFactor;
+
+    fn setup() -> (Partition, DepGraph) {
+        let p = gen::lap9(10, 10);
+        let perm = order(&p, Ordering::paper_default());
+        let f = SymbolicFactor::from_pattern(&p.permute(&perm));
+        let part = Partition::build(&f, &PartitionParams::with_grain(4));
+        let deps = dependencies(&f, &part);
+        (part, deps)
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let (part, _) = setup();
+        let a = round_robin_allocation(&part, 3);
+        for u in 0..part.num_units() {
+            assert_eq!(a.proc_of(u), u % 3);
+        }
+    }
+
+    #[test]
+    fn greedy_balances_better_than_round_robin() {
+        let (part, _) = setup();
+        let spread = |a: &Assignment| {
+            let w = a.work_per_proc(&part);
+            *w.iter().max().unwrap() - *w.iter().min().unwrap()
+        };
+        let rr = round_robin_allocation(&part, 8);
+        let greedy = greedy_work_allocation(&part, 8);
+        assert!(
+            spread(&greedy) <= spread(&rr),
+            "greedy spread {} vs round-robin {}",
+            spread(&greedy),
+            spread(&rr)
+        );
+    }
+
+    #[test]
+    fn locality_first_concentrates_dependent_chains() {
+        let (part, deps) = setup();
+        let a = locality_first_allocation(&part, &deps, 4);
+        // Every dependent unit shares a processor with >= 1 predecessor.
+        for u in 0..part.num_units() {
+            if let Some(&first) = deps.preds(u).first() {
+                let _ = first; // non-empty
+                let ok = deps
+                    .preds(u)
+                    .iter()
+                    .any(|&s| a.proc_of(s as usize) == a.proc_of(u));
+                assert!(ok, "unit {u} does not share a proc with any predecessor");
+            }
+        }
+    }
+
+    #[test]
+    fn all_allocators_cover_all_units() {
+        let (part, deps) = setup();
+        for a in [
+            round_robin_allocation(&part, 5),
+            greedy_work_allocation(&part, 5),
+            locality_first_allocation(&part, &deps, 5),
+        ] {
+            assert_eq!(a.proc_of_unit.len(), part.num_units());
+            assert!(a.proc_of_unit.iter().all(|&p| p < 5));
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! Plain-text schedule interchange format.
+//!
+//! The paper's §3 pipeline "generates and stores dependency
+//! information for the unit blocks" and hands the partitioner/scheduler
+//! output to a separate simulator ("using this output, simulations were
+//! carried out"). This module provides that artifact: a deterministic,
+//! line-oriented dump of the unit blocks, their dependency graph, and the
+//! processor assignment, plus a parser, so schedules can be inspected,
+//! diffed, archived, or fed to external tooling.
+//!
+//! Format (`#` starts a comment):
+//!
+//! ```text
+//! spfactor-schedule v1
+//! units <count> procs <count>
+//! U <id> <cluster> col <j> <elems> <work>
+//! U <id> <cluster> tri <lo> <hi> <elems> <work>
+//! U <id> <cluster> rect <clo> <chi> <rlo> <rhi> <elems> <work>
+//! D <unit> <pred> <pred> ...
+//! A <unit> <proc>
+//! ```
+
+use crate::Assignment;
+use spfactor_interval::Interval;
+use spfactor_partition::{DepGraph, Partition, UnitShape};
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// A parsed schedule: the unit geometry, predecessor lists, and processor
+/// map, sufficient to re-run the traffic/load analyses or drive an
+/// external simulator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScheduleDump {
+    /// Unit shapes with `(cluster, elements, work)` per unit.
+    pub units: Vec<(usize, UnitShape, usize, usize)>,
+    /// Sorted predecessor lists per unit.
+    pub preds: Vec<Vec<u32>>,
+    /// Processor of each unit.
+    pub proc_of_unit: Vec<u32>,
+    /// Processor count.
+    pub nprocs: usize,
+}
+
+/// Writes a schedule in the v1 text format.
+pub fn write_schedule<W: Write>(
+    w: &mut W,
+    partition: &Partition,
+    deps: &DepGraph,
+    assignment: &Assignment,
+) -> std::io::Result<()> {
+    writeln!(w, "spfactor-schedule v1")?;
+    writeln!(
+        w,
+        "units {} procs {}",
+        partition.num_units(),
+        assignment.nprocs
+    )?;
+    for u in &partition.units {
+        match &u.shape {
+            UnitShape::Column { col } => writeln!(
+                w,
+                "U {} {} col {} {} {}",
+                u.id, u.cluster, col, u.elements, u.work
+            )?,
+            UnitShape::Triangle { extent } => writeln!(
+                w,
+                "U {} {} tri {} {} {} {}",
+                u.id, u.cluster, extent.lo, extent.hi, u.elements, u.work
+            )?,
+            UnitShape::Rectangle { cols, rows } => writeln!(
+                w,
+                "U {} {} rect {} {} {} {} {} {}",
+                u.id, u.cluster, cols.lo, cols.hi, rows.lo, rows.hi, u.elements, u.work
+            )?,
+        }
+    }
+    for u in 0..partition.num_units() {
+        if !deps.preds(u).is_empty() {
+            write!(w, "D {u}")?;
+            for &p in deps.preds(u) {
+                write!(w, " {p}")?;
+            }
+            writeln!(w)?;
+        }
+    }
+    for u in 0..partition.num_units() {
+        writeln!(w, "A {} {}", u, assignment.proc_of(u))?;
+    }
+    Ok(())
+}
+
+/// Parses the v1 text format.
+pub fn read_schedule<R: Read>(r: R) -> Result<ScheduleDump, String> {
+    let mut lines = BufReader::new(r).lines().enumerate();
+    let take = |opt: Option<(usize, std::io::Result<String>)>| -> Result<(usize, String), String> {
+        match opt {
+            Some((k, Ok(l))) => Ok((k + 1, l)),
+            Some((k, Err(e))) => Err(format!("line {}: {e}", k + 1)),
+            None => Err("unexpected end of file".into()),
+        }
+    };
+    let (_, header) = take(lines.next())?;
+    if header.trim() != "spfactor-schedule v1" {
+        return Err(format!("bad header {header:?}"));
+    }
+    let (_, counts) = take(lines.next())?;
+    let cf: Vec<&str> = counts.split_whitespace().collect();
+    if cf.len() != 4 || cf[0] != "units" || cf[2] != "procs" {
+        return Err(format!("bad counts line {counts:?}"));
+    }
+    let nu: usize = cf[1].parse().map_err(|_| "bad unit count".to_string())?;
+    let nprocs: usize = cf[3].parse().map_err(|_| "bad proc count".to_string())?;
+
+    let mut units: Vec<(usize, UnitShape, usize, usize)> = Vec::with_capacity(nu);
+    let mut preds: Vec<Vec<u32>> = vec![Vec::new(); nu];
+    let mut proc_of_unit: Vec<u32> = vec![u32::MAX; nu];
+    for (lineno, line) in lines {
+        let lineno = lineno + 1;
+        let line = line.map_err(|e| format!("line {lineno}: {e}"))?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let f: Vec<&str> = t.split_whitespace().collect();
+        let parse = |s: &str| -> Result<usize, String> {
+            s.parse()
+                .map_err(|_| format!("line {lineno}: bad integer {s:?}"))
+        };
+        match f[0] {
+            "U" => {
+                if f.len() < 4 {
+                    return Err(format!("line {lineno}: truncated unit"));
+                }
+                let id = parse(f[1])?;
+                let cluster = parse(f[2])?;
+                let (shape, rest) = match f[3] {
+                    "col" => (UnitShape::Column { col: parse(f[4])? }, &f[5..]),
+                    "tri" => (
+                        UnitShape::Triangle {
+                            extent: Interval::new(parse(f[4])?, parse(f[5])?),
+                        },
+                        &f[6..],
+                    ),
+                    "rect" => (
+                        UnitShape::Rectangle {
+                            cols: Interval::new(parse(f[4])?, parse(f[5])?),
+                            rows: Interval::new(parse(f[6])?, parse(f[7])?),
+                        },
+                        &f[8..],
+                    ),
+                    other => return Err(format!("line {lineno}: unknown shape {other:?}")),
+                };
+                if rest.len() != 2 {
+                    return Err(format!("line {lineno}: expected elems and work"));
+                }
+                if id != units.len() {
+                    return Err(format!("line {lineno}: unit ids must be dense"));
+                }
+                units.push((cluster, shape, parse(rest[0])?, parse(rest[1])?));
+            }
+            "D" => {
+                let u = parse(f[1])?;
+                if u >= nu {
+                    return Err(format!("line {lineno}: unit {u} out of range"));
+                }
+                let mut ps = Vec::with_capacity(f.len() - 2);
+                for s in &f[2..] {
+                    let p = parse(s)?;
+                    if p >= nu {
+                        return Err(format!("line {lineno}: pred {p} out of range"));
+                    }
+                    ps.push(p as u32);
+                }
+                preds[u] = ps;
+            }
+            "A" => {
+                let u = parse(f[1])?;
+                let p = parse(f[2])?;
+                if u >= nu || p >= nprocs {
+                    return Err(format!("line {lineno}: assignment out of range"));
+                }
+                proc_of_unit[u] = p as u32;
+            }
+            other => return Err(format!("line {lineno}: unknown record {other:?}")),
+        }
+    }
+    if units.len() != nu {
+        return Err(format!("expected {nu} units, got {}", units.len()));
+    }
+    if proc_of_unit.contains(&u32::MAX) {
+        return Err("some units have no processor assignment".into());
+    }
+    Ok(ScheduleDump {
+        units,
+        preds,
+        proc_of_unit,
+        nprocs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spfactor_matrix::gen;
+    use spfactor_order::{order, Ordering};
+    use spfactor_partition::{dependencies, PartitionParams};
+    use spfactor_symbolic::SymbolicFactor;
+
+    fn setup() -> (Partition, DepGraph, Assignment) {
+        let p = gen::lap9(8, 8);
+        let perm = order(&p, Ordering::paper_default());
+        let f = SymbolicFactor::from_pattern(&p.permute(&perm));
+        let part = Partition::build(&f, &PartitionParams::with_grain(4));
+        let deps = dependencies(&f, &part);
+        let assign = crate::block_allocation(&part, &deps, 8);
+        (part, deps, assign)
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let (part, deps, assign) = setup();
+        let mut buf = Vec::new();
+        write_schedule(&mut buf, &part, &deps, &assign).unwrap();
+        let dump = read_schedule(buf.as_slice()).unwrap();
+        assert_eq!(dump.nprocs, 8);
+        assert_eq!(dump.units.len(), part.num_units());
+        for (k, u) in part.units.iter().enumerate() {
+            let (cluster, shape, elems, work) = &dump.units[k];
+            assert_eq!(*cluster, u.cluster);
+            assert_eq!(shape, &u.shape);
+            assert_eq!(*elems, u.elements);
+            assert_eq!(*work, u.work);
+        }
+        for u in 0..part.num_units() {
+            assert_eq!(dump.preds[u], deps.preds(u));
+            assert_eq!(dump.proc_of_unit[u] as usize, assign.proc_of(u));
+        }
+    }
+
+    #[test]
+    fn output_is_deterministic() {
+        let (part, deps, assign) = setup();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        write_schedule(&mut a, &part, &deps, &assign).unwrap();
+        write_schedule(&mut b, &part, &deps, &assign).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(read_schedule("nonsense".as_bytes()).is_err());
+        assert!(read_schedule("spfactor-schedule v1\nunits x procs 2\n".as_bytes()).is_err());
+        // Missing assignment.
+        let s = "spfactor-schedule v1\nunits 1 procs 1\nU 0 0 col 0 1 0\n";
+        assert!(read_schedule(s.as_bytes()).is_err());
+        // Out-of-range processor.
+        let s = "spfactor-schedule v1\nunits 1 procs 1\nU 0 0 col 0 1 0\nA 0 5\n";
+        assert!(read_schedule(s.as_bytes()).is_err());
+        // Non-dense unit ids.
+        let s = "spfactor-schedule v1\nunits 1 procs 1\nU 3 0 col 0 1 0\nA 0 0\n";
+        assert!(read_schedule(s.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let s = "spfactor-schedule v1\nunits 1 procs 2\n\n# a comment\nU 0 0 col 0 1 0\nA 0 1\n";
+        let d = read_schedule(s.as_bytes()).unwrap();
+        assert_eq!(d.proc_of_unit, vec![1]);
+    }
+}

@@ -1,0 +1,164 @@
+//! Traffic and load balance of the triangular solves (step 4).
+//!
+//! The paper's conclusion notes that "in real applications factoring is
+//! only a part of the overall solution ... other computations such as
+//! triangular solves can provide additional flexibility in balancing the
+//! load which is not taken into account here". This module quantifies
+//! that: it applies the same ownership (partition + assignment) to the
+//! forward solve `L y = b` and measures work and traffic under a
+//! column-oriented model:
+//!
+//! * computing `y_j = b_j / L(j,j)` costs 1 unit on the owner of the
+//!   diagonal element `(j, j)`;
+//! * each update `b_i -= L(i,j) · y_j` costs 2 units on the owner of
+//!   element `(i, j)`, which must fetch `y_j` (1 traffic unit per
+//!   processor, cached) and contribute its partial sum of `b_i` to the
+//!   owner of `(i, i)` (1 traffic unit per distinct `(processor, row)`
+//!   pair).
+//!
+//! The backward solve `Lᵀ x = y` is symmetric in cost and is reported as
+//! the same numbers by [`solve_metrics`]'s caller if desired.
+
+use crate::{BitSet, WorkReport};
+use spfactor_partition::Partition;
+use spfactor_sched::Assignment;
+use spfactor_symbolic::SymbolicFactor;
+
+/// Metrics of the forward triangular solve under an ownership map.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrisolveReport {
+    /// Work per processor (1 per division, 2 per update).
+    pub work: WorkReport,
+    /// Total traffic: distinct `y_j` fetches plus partial-sum
+    /// contributions.
+    pub traffic_total: usize,
+    /// Traffic per processor (fetches it performs plus partials it
+    /// sends).
+    pub traffic_per_proc: Vec<usize>,
+}
+
+/// Simulates the forward solve `L y = b` on the given ownership.
+pub fn solve_metrics(
+    factor: &SymbolicFactor,
+    partition: &Partition,
+    assignment: &Assignment,
+) -> TrisolveReport {
+    let n = factor.n();
+    let nprocs = assignment.nprocs;
+    let owner = partition.owner_map();
+    let proc_of = |i: usize, j: usize| -> usize {
+        assignment.proc_of(owner[factor.entry_id(i, j).expect("factor entry")] as usize)
+    };
+    let mut work = vec![0usize; nprocs];
+    let mut traffic = vec![0usize; nprocs];
+    // y-fetch dedup: (proc, column).
+    let mut fetched_y: Vec<BitSet> = (0..nprocs).map(|_| BitSet::new(n)).collect();
+    // partial-sum dedup: (proc, row).
+    let mut sent_partial: Vec<BitSet> = (0..nprocs).map(|_| BitSet::new(n)).collect();
+
+    for j in 0..n {
+        let diag_proc = proc_of(j, j);
+        work[diag_proc] += 1; // y_j = b_j / L(j,j)
+        for &i in factor.col(j) {
+            let p = proc_of(i, j);
+            work[p] += 2; // multiply + subtract
+            if p != diag_proc && fetched_y[p].insert(j) {
+                traffic[p] += 1; // fetch y_j
+            }
+            let acc_proc = proc_of(i, i);
+            if p != acc_proc && sent_partial[p].insert(i) {
+                traffic[p] += 1; // send partial sum of b_i
+            }
+        }
+    }
+
+    TrisolveReport {
+        work: WorkReport {
+            total: work.iter().sum(),
+            per_proc: work,
+        },
+        traffic_total: traffic.iter().sum(),
+        traffic_per_proc: traffic,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spfactor_matrix::{gen, SymmetricPattern};
+    use spfactor_order::{order, Ordering};
+    use spfactor_partition::{dependencies, PartitionParams};
+    use spfactor_sched::{block_allocation, wrap_allocation};
+
+    fn factor_of(p: &SymmetricPattern) -> SymbolicFactor {
+        let perm = order(p, Ordering::paper_default());
+        SymbolicFactor::from_pattern(&p.permute(&perm))
+    }
+
+    #[test]
+    fn one_processor_no_traffic() {
+        let p = gen::lap9(8, 8);
+        let f = factor_of(&p);
+        let part = Partition::columns(&f);
+        let a = wrap_allocation(&part, 1);
+        let r = solve_metrics(&f, &part, &a);
+        assert_eq!(r.traffic_total, 0);
+        // Work: n divisions + 2 per strict-lower entry.
+        assert_eq!(r.work.total, f.n() + 2 * f.nnz_strict_lower());
+    }
+
+    #[test]
+    fn work_is_mapping_independent() {
+        let p = gen::lap9(9, 9);
+        let f = factor_of(&p);
+        let cols = Partition::columns(&f);
+        let blocks = Partition::build(&f, &PartitionParams::with_grain(4));
+        let deps = dependencies(&f, &blocks);
+        let rw = solve_metrics(&f, &cols, &wrap_allocation(&cols, 8));
+        let rb = solve_metrics(&f, &blocks, &block_allocation(&blocks, &deps, 8));
+        assert_eq!(rw.work.total, rb.work.total);
+    }
+
+    #[test]
+    fn column_ownership_sends_no_partials_for_own_columns() {
+        // With wrap over columns, element (i,j) lives on column j's proc;
+        // partials for row i go to column i's proc: traffic arises only
+        // across procs, bounded by distinct (proc, row/col) pairs.
+        let p = gen::lap9(6, 6);
+        let f = factor_of(&p);
+        let part = Partition::columns(&f);
+        let a = wrap_allocation(&part, 4);
+        let r = solve_metrics(&f, &part, &a);
+        assert!(r.traffic_total > 0);
+        let bound = 4 * f.n() * 2; // (procs × rows) fetches + partials
+        assert!(r.traffic_total <= bound);
+    }
+
+    #[test]
+    fn block_mapping_solve_traffic_lower_than_wrap() {
+        // The locality argument carries over to the solve phase.
+        let p = gen::lap9(15, 15);
+        let f = factor_of(&p);
+        let blocks = Partition::build(&f, &PartitionParams::with_grain(25));
+        let deps = dependencies(&f, &blocks);
+        let rb = solve_metrics(&f, &blocks, &block_allocation(&blocks, &deps, 8));
+        let cols = Partition::columns(&f);
+        let rw = solve_metrics(&f, &cols, &wrap_allocation(&cols, 8));
+        assert!(
+            rb.traffic_total < rw.traffic_total,
+            "block {} !< wrap {}",
+            rb.traffic_total,
+            rw.traffic_total
+        );
+    }
+
+    #[test]
+    fn per_proc_traffic_sums_to_total() {
+        let p = gen::lap9(10, 10);
+        let f = factor_of(&p);
+        let part = Partition::columns(&f);
+        let a = wrap_allocation(&part, 5);
+        let r = solve_metrics(&f, &part, &a);
+        assert_eq!(r.traffic_per_proc.iter().sum::<usize>(), r.traffic_total);
+    }
+}

@@ -1,0 +1,21 @@
+//! Symbolic Cholesky factorization.
+//!
+//! Step 2 of the paper's four-step direct solution process: given the
+//! (already ordered) structure of A, determine the zero/nonzero structure
+//! of the Cholesky factor L. The partitioner (crate `spfactor-partition`)
+//! consumes this structure — "the partitioning starts with the zero-nonzero
+//! structure of the filled sparse matrix obtained after the symbolic
+//! factorization phase" (§3).
+//!
+//! * [`SymbolicFactor`] — the factor structure, its elimination tree, fill
+//!   and operation counts;
+//! * [`supernode`] — fundamental and relaxed supernode detection, the basis
+//!   of the paper's *cluster* identification.
+
+pub mod factor;
+pub mod ops;
+pub mod supernode;
+
+pub use factor::SymbolicFactor;
+pub use ops::{for_each_scaling, for_each_update, UpdateOp};
+pub use supernode::{fundamental_supernodes, relaxed_supernodes};

@@ -1,0 +1,48 @@
+//! Head-to-head comparison of the block scheme against wrap mapping on
+//! all five paper matrices, including hot-spot structure (the paper's §5
+//! remark that wrap mappings make every processor talk to many others).
+//!
+//! ```text
+//! cargo run --release --example wrap_vs_block
+//! ```
+
+use spfactor::{Pipeline, Scheme};
+
+fn main() {
+    let nprocs = 16;
+    println!("P = {nprocs}");
+    println!(
+        "{:>9} | {:>9} {:>6} {:>9} | {:>9} {:>6} {:>9} | {:>7}",
+        "matrix", "blk traf", "blk Δ", "blk partn", "wrp traf", "wrp Δ", "wrp partn", "saving"
+    );
+    for m in spfactor::matrix::gen::paper::all() {
+        let block = Pipeline::new(m.pattern.clone())
+            .grain(25)
+            .processors(nprocs)
+            .run();
+        let wrap = Pipeline::new(m.pattern.clone())
+            .scheme(Scheme::Wrap)
+            .processors(nprocs)
+            .run();
+        // Mean number of communication partners per processor.
+        let partners = |t: &spfactor::TrafficReport| {
+            (0..nprocs).map(|p| t.partners(p)).sum::<usize>() as f64 / nprocs as f64
+        };
+        let saving = 100.0 * (1.0 - block.traffic.total as f64 / wrap.traffic.total.max(1) as f64);
+        println!(
+            "{:>9} | {:>9} {:>6.2} {:>9.1} | {:>9} {:>6.2} {:>9.1} | {:>6.0}%",
+            m.name,
+            block.traffic.total,
+            block.work.imbalance(),
+            partners(&block.traffic),
+            wrap.traffic.total,
+            wrap.work.imbalance(),
+            partners(&wrap.traffic),
+            saving,
+        );
+    }
+    println!();
+    println!("\"blk/wrp partn\" is the mean number of distinct processors each");
+    println!("processor exchanges data with: block mapping confines communication");
+    println!("to small groups, wrap mapping talks to nearly everyone (hot-spots).");
+}

@@ -1,0 +1,192 @@
+//! Shape tests for the paper's experimental findings (Tables 2–5).
+//!
+//! Absolute values differ from the paper (different MMD tie-breaking,
+//! structure-equivalent substitutes for four of the five matrices — see
+//! `DESIGN.md`), but the qualitative results the paper draws its
+//! conclusions from must hold. `EXPERIMENTS.md` records the quantitative
+//! comparison.
+
+use spfactor::{Pipeline, Scheme};
+
+fn block(
+    m: &spfactor::matrix::gen::paper::TestMatrix,
+    g: usize,
+    p: usize,
+) -> spfactor::PipelineResult {
+    Pipeline::new(m.pattern.clone())
+        .grain(g)
+        .processors(p)
+        .run()
+}
+
+fn wrap(m: &spfactor::matrix::gen::paper::TestMatrix, p: usize) -> spfactor::PipelineResult {
+    Pipeline::new(m.pattern.clone())
+        .scheme(Scheme::Wrap)
+        .processors(p)
+        .run()
+}
+
+/// Table 1: dimensions and nonzero counts of the test set.
+#[test]
+fn table1_matrix_set_matches() {
+    let ms = spfactor::matrix::gen::paper::all();
+    let names: Vec<&str> = ms.iter().map(|m| m.name).collect();
+    assert_eq!(
+        names,
+        ["BUS1138", "CANN1072", "DWT512", "LAP30", "LSHP1009"]
+    );
+    // LAP30 is exact.
+    let lap = &ms[3];
+    assert_eq!(lap.pattern.n(), 900);
+    assert_eq!(lap.pattern.nnz_lower(), 4322);
+}
+
+/// Table 2: block-mapping communication increases with P and decreases
+/// substantially when the grain grows from 4 to 25.
+#[test]
+fn table2_block_traffic_shape() {
+    let m = spfactor::matrix::gen::paper::lap30();
+    let t = |g: usize, p: usize| block(&m, g, p).traffic.total;
+    // Communication increases with the number of processors.
+    assert!(t(4, 4) < t(4, 16));
+    assert!(t(25, 4) < t(25, 16));
+    // Larger grain reduces communication; the paper reports > 50%
+    // reduction for LAP30 at P = 16 and 32 — require at least 30% here.
+    for p in [16, 32] {
+        let (g4, g25) = (t(4, p), t(25, p));
+        assert!(
+            (g25 as f64) < 0.7 * g4 as f64,
+            "P = {p}: g=25 traffic {g25} not well below g=4 traffic {g4}"
+        );
+    }
+}
+
+/// Table 3: block-mapping load imbalance grows with the grain size and
+/// (broadly) with the processor count.
+#[test]
+fn table3_block_imbalance_shape() {
+    let m = spfactor::matrix::gen::paper::lap30();
+    let d = |g: usize, p: usize| block(&m, g, p).work.imbalance();
+    // Larger grain worsens balance at scale.
+    assert!(
+        d(25, 32) > d(4, 32),
+        "Δ(g=25) {} !> Δ(g=4) {} at P=32",
+        d(25, 32),
+        d(4, 32)
+    );
+    // More processors worsen balance for fixed grain.
+    assert!(d(25, 32) > d(25, 4));
+}
+
+/// Table 4: the minimum cluster width trades communication against load
+/// balance on LAP30 (complementary movement).
+#[test]
+fn table4_width_sweep_moves_both_metrics() {
+    let m = spfactor::matrix::gen::paper::lap30();
+    let run = |w: usize| {
+        Pipeline::new(m.pattern.clone())
+            .grain(4)
+            .min_cluster_width(w)
+            .processors(16)
+            .run()
+    };
+    // The paper's dip appears at width 8 with GENMMD; our MMD tie-breaks
+    // differently, shifting the crossover to a larger width. Sweep a wider
+    // range and check the *complementary movement* the table demonstrates:
+    // some width cuts communication below the narrow settings at the cost
+    // of clearly worse balance.
+    let widths = [2usize, 4, 8, 12, 16];
+    let results: Vec<_> = widths.iter().map(|&w| run(w)).collect();
+    let traffic: Vec<usize> = results.iter().map(|r| r.traffic.total).collect();
+    let imb: Vec<f64> = results.iter().map(|r| r.work.imbalance()).collect();
+    let last = widths.len() - 1;
+    assert!(
+        traffic[last] < traffic[0],
+        "traffic at width {} ({}) not below width 2 ({})",
+        widths[last],
+        traffic[last],
+        traffic[0]
+    );
+    assert!(
+        imb[last] > imb[1],
+        "Δ at width {} ({}) not above width 4 ({})",
+        widths[last],
+        imb[last],
+        imb[1]
+    );
+    // And the balance-optimal width is an interior point (widths both
+    // above and below it do worse or equal) — the "has to go in step with
+    // the grain size" tuning story.
+    let best = imb
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        .unwrap()
+        .0;
+    assert!(best < last, "imbalance should worsen at the widest setting");
+}
+
+/// Table 5 vs Table 2: wrap mapping communicates more than the block
+/// scheme on every matrix; Table 5 vs Table 3: wrap balances better.
+#[test]
+fn table5_wrap_vs_block_tradeoff_all_matrices() {
+    for m in spfactor::matrix::gen::paper::all() {
+        let b = block(&m, 25, 16);
+        let w = wrap(&m, 16);
+        assert!(
+            b.traffic.total < w.traffic.total,
+            "{}: block traffic {} !< wrap {}",
+            m.name,
+            b.traffic.total,
+            w.traffic.total
+        );
+        assert!(
+            w.work.imbalance() <= b.work.imbalance() + 1e-9,
+            "{}: wrap Δ {} !<= block Δ {}",
+            m.name,
+            w.work.imbalance(),
+            b.work.imbalance()
+        );
+    }
+}
+
+/// Table 5: wrap mapping's Δ stays small (uniform distribution) and its
+/// traffic grows with P; P = 1 communicates nothing.
+#[test]
+fn table5_wrap_shape() {
+    let m = spfactor::matrix::gen::paper::lap30();
+    let w1 = wrap(&m, 1);
+    assert_eq!(w1.traffic.total, 0);
+    assert_eq!(w1.work.imbalance(), 0.0);
+    let w4 = wrap(&m, 4);
+    let w16 = wrap(&m, 16);
+    let w32 = wrap(&m, 32);
+    assert!(w4.traffic.total < w16.traffic.total);
+    assert!(w16.traffic.total < w32.traffic.total);
+    // The paper's Δ for wrap never exceeds 0.35 on any matrix/P; ours
+    // stays in the same small regime on LAP30 (paper: <= 0.11).
+    for (r, p) in [(&w4, 4), (&w16, 16), (&w32, 32)] {
+        assert!(
+            r.work.imbalance() < 0.35,
+            "wrap Δ {} at P={p} out of regime",
+            r.work.imbalance()
+        );
+    }
+}
+
+/// §4: "a smaller grain size in the block scheme gives ... decrease in
+/// communication without too much load imbalance as compared to
+/// wrap-mapping" — block at g=4 must beat wrap's traffic while keeping Δ
+/// within a modest factor.
+#[test]
+fn small_grain_block_dominates_wrap_on_communication() {
+    let m = spfactor::matrix::gen::paper::lap30();
+    let b = block(&m, 4, 32);
+    let w = wrap(&m, 32);
+    assert!(b.traffic.total < w.traffic.total);
+    assert!(
+        b.work.imbalance() < 1.0,
+        "Δ {} too large",
+        b.work.imbalance()
+    );
+}

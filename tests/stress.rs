@@ -1,0 +1,67 @@
+//! Larger-scale stress tests, `#[ignore]`d by default (run with
+//! `cargo test --release -- --ignored`). These push the pipeline well
+//! past the paper's problem sizes to catch scaling bugs (quadratic blow-
+//! ups, stack overflows, allocation storms) that the small suites miss.
+
+use spfactor::{Pipeline, Scheme};
+
+#[test]
+#[ignore = "large; run with --ignored in release mode"]
+fn pipeline_on_60x60_nine_point_grid() {
+    // 3600 unknowns, ~4x the paper's largest problem.
+    let p = spfactor::matrix::gen::lap9(60, 60);
+    let r = Pipeline::new(p.clone()).grain(25).processors(32).run();
+    assert_eq!(r.factor.n(), 3600);
+    let w = Pipeline::new(p).scheme(Scheme::Wrap).processors(32).run();
+    assert!(r.traffic.total < w.traffic.total);
+    assert!(w.work.imbalance() <= r.work.imbalance() + 1e-9);
+}
+
+#[test]
+#[ignore = "large; run with --ignored in release mode"]
+fn pipeline_on_3d_grid() {
+    // 3-D problems produce much wider supernodes; 12^3 = 1728 unknowns.
+    // The denser factor needs a correspondingly larger grain before
+    // blocking pays off ("the cluster width has to go in step with the
+    // grain size" generalizes to the grain itself).
+    let p = spfactor::matrix::gen::grid7(12, 12, 12);
+    let r = Pipeline::new(p.clone()).grain(100).processors(16).run();
+    let w = Pipeline::new(p).scheme(Scheme::Wrap).processors(16).run();
+    assert!(
+        (r.traffic.total as f64) < 0.8 * w.traffic.total as f64,
+        "block {} vs wrap {}",
+        r.traffic.total,
+        w.traffic.total
+    );
+}
+
+#[test]
+#[ignore = "large; run with --ignored in release mode"]
+fn numeric_solve_at_scale() {
+    use spfactor::numeric::{solve, SpdSolver};
+    let p = spfactor::matrix::gen::lap9(50, 50);
+    let a = spfactor::matrix::gen::spd_from_pattern(&p, 1);
+    let b: Vec<f64> = (0..a.n()).map(|i| ((i % 23) as f64) - 11.0).collect();
+    let s = SpdSolver::new(&a, spfactor::Ordering::paper_default()).unwrap();
+    let x = s.solve(&b);
+    let bn = b.iter().map(|v| v.abs()).fold(1.0, f64::max);
+    assert!(solve::residual_norm(&a, &x, &b) / bn < 1e-9);
+}
+
+#[test]
+#[ignore = "large; run with --ignored in release mode"]
+fn block_schedule_executes_at_scale() {
+    let p = spfactor::matrix::gen::lap9(40, 40);
+    let r = Pipeline::new(p.clone()).grain(25).processors(16).run();
+    let a = spfactor::matrix::gen::spd_from_pattern(&p.permute(&r.permutation), 2);
+    let seq = spfactor::numeric::cholesky(&a, &r.factor).unwrap();
+    let par = spfactor::numeric::cholesky_block_parallel(
+        &a,
+        &r.factor,
+        &r.partition,
+        &r.deps,
+        &r.assignment,
+    )
+    .unwrap();
+    assert_eq!(seq, par);
+}
