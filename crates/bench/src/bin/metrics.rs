@@ -1,0 +1,64 @@
+//! Emits the full metrics surface of one pipeline run as a single JSON
+//! document — every span, counter and gauge documented in
+//! `docs/METRICS.md`, covering all six phases (order, symbolic,
+//! partition, sched, simulate, numeric) on the paper's LAP30 problem.
+//!
+//! ```text
+//! cargo run -p spfactor-bench --bin metrics
+//! ```
+//!
+//! With `--no-default-features` the instrumentation compiles to no-ops
+//! and the document comes out empty (but well-formed).
+
+use std::sync::Arc;
+
+use spfactor::simulate::timed::{simulate_timed_traced, CommModel, OrderPolicy};
+use spfactor::{numeric, Pipeline, Recorder};
+
+fn main() {
+    let rec = Arc::new(Recorder::new());
+
+    // Phases 1–5 (order → symbolic → partition → sched → simulate) on
+    // the paper's primary configuration: LAP30, grain 4, 16 processors.
+    let m = spfactor::matrix::gen::paper::lap30();
+    let result = Pipeline::new(m.pattern.clone())
+        .grain(4)
+        .processors(16)
+        .with_recorder(rec.clone())
+        .run();
+
+    // The interval-tree dependency builder (alternative to the exact
+    // enumeration the pipeline uses); records the interval query counters.
+    spfactor::partition::geometric_dependencies_traced(&result.factor, &result.partition, &rec);
+
+    // Timed simulation (idle-time breakdown of the same schedule).
+    simulate_timed_traced(
+        &result.factor,
+        &result.partition,
+        &result.deps,
+        &result.assignment,
+        &CommModel::default(),
+        OrderPolicy::ScanOrder,
+        &rec,
+    );
+
+    // Phase 6: numeric factorization, both executors, under one span.
+    {
+        let _phase = rec.span("phase.numeric");
+        let permuted = m.pattern.permute(&result.permutation);
+        let a = spfactor::matrix::gen::spd_from_pattern(&permuted, 42);
+        numeric::cholesky_parallel_traced(&a, &result.factor, 4, &rec)
+            .expect("LAP30 SPD factorization");
+        numeric::cholesky_block_parallel_traced(
+            &a,
+            &result.factor,
+            &result.partition,
+            &result.deps,
+            &result.assignment,
+            &rec,
+        )
+        .expect("LAP30 block-parallel factorization");
+    }
+
+    println!("{}", rec.to_json());
+}

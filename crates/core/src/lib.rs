@@ -57,6 +57,11 @@ pub use spfactor_partition as partition;
 pub use spfactor_sched as sched;
 pub use spfactor_simulate as simulate;
 pub use spfactor_symbolic as symbolic;
+pub use spfactor_trace as trace;
+
+pub use spfactor_trace::Recorder;
+
+use std::sync::Arc;
 
 pub use spfactor_matrix::{Permutation, SymmetricPattern};
 pub use spfactor_order::Ordering;
@@ -83,6 +88,7 @@ pub struct Pipeline {
     params: PartitionParams,
     scheme: Scheme,
     nprocs: usize,
+    recorder: Option<Arc<Recorder>>,
 }
 
 impl Pipeline {
@@ -96,7 +102,36 @@ impl Pipeline {
             params: PartitionParams::default(),
             scheme: Scheme::Block,
             nprocs: 4,
+            recorder: None,
         }
+    }
+
+    /// Attaches a metrics [`Recorder`]: every phase then records its
+    /// timings, counters and gauges into it (the full name inventory is
+    /// documented in `docs/METRICS.md`). The same recorder is carried
+    /// into the [`PipelineResult`] and is available through
+    /// [`PipelineResult::metrics`].
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use spfactor::{Pipeline, Recorder};
+    ///
+    /// let rec = Arc::new(Recorder::new());
+    /// let result = Pipeline::new(spfactor::matrix::gen::lap9(6, 6))
+    ///     .with_recorder(rec.clone())
+    ///     .run();
+    /// if rec.is_enabled() {
+    ///     // The symbolic phase reported its fill-in as a gauge.
+    ///     assert_eq!(
+    ///         rec.gauge_value("symbolic.fill_in"),
+    ///         Some(result.factor.fill_in() as f64),
+    ///     );
+    ///     assert!(result.metrics().unwrap().span_stats("phase.order").is_some());
+    /// }
+    /// ```
+    pub fn with_recorder(mut self, recorder: Arc<Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
     }
 
     /// Selects the ordering algorithm.
@@ -138,26 +173,77 @@ impl Pipeline {
     }
 
     /// Runs all stages and returns the full set of artifacts and metrics.
+    ///
+    /// With a recorder attached (see [`Pipeline::with_recorder`]) each
+    /// stage runs under a `phase.*` span and the instrumented variants of
+    /// the phase entry points, so the recorder ends up with the complete
+    /// metrics surface of the run.
     pub fn run(self) -> PipelineResult {
-        let perm = order::order(&self.pattern, self.ordering);
-        let permuted = self.pattern.permute(&perm);
-        let factor = SymbolicFactor::from_pattern(&permuted);
-        let (partition, deps, assignment) = match self.scheme {
-            Scheme::Block => {
-                let partition = Partition::build(&factor, &self.params);
-                let deps = partition::dependencies(&factor, &partition);
-                let assignment = sched::block_allocation(&partition, &deps, self.nprocs);
-                (partition, deps, assignment)
+        let recorder = self.recorder.clone();
+        let rec = recorder.as_deref();
+
+        let perm = match rec {
+            Some(r) => {
+                let _phase = r.span("phase.order");
+                order::order_traced(&self.pattern, self.ordering, r)
             }
-            Scheme::Wrap => {
-                let partition = Partition::columns(&factor);
-                let deps = partition::dependencies(&factor, &partition);
-                let assignment = sched::wrap_allocation(&partition, self.nprocs);
-                (partition, deps, assignment)
+            None => order::order(&self.pattern, self.ordering),
+        };
+        let permuted = self.pattern.permute(&perm);
+
+        let factor = match rec {
+            Some(r) => {
+                let _phase = r.span("phase.symbolic");
+                SymbolicFactor::from_pattern_traced(&permuted, r)
+            }
+            None => SymbolicFactor::from_pattern(&permuted),
+        };
+
+        let (partition, deps) = {
+            let _phase = rec.map(|r| r.span("phase.partition"));
+            let partition = match (self.scheme, rec) {
+                (Scheme::Block, Some(r)) => Partition::build_traced(&factor, &self.params, r),
+                (Scheme::Block, None) => Partition::build(&factor, &self.params),
+                (Scheme::Wrap, Some(r)) => {
+                    let p = r.time("partition.columns", || Partition::columns(&factor));
+                    p.record_stats(r);
+                    p
+                }
+                (Scheme::Wrap, None) => Partition::columns(&factor),
+            };
+            let deps = match rec {
+                Some(r) => partition::dependencies_traced(&factor, &partition, r),
+                None => partition::dependencies(&factor, &partition),
+            };
+            (partition, deps)
+        };
+
+        let assignment = {
+            let _phase = rec.map(|r| r.span("phase.sched"));
+            match (self.scheme, rec) {
+                (Scheme::Block, Some(r)) => {
+                    sched::block_allocation_traced(&partition, &deps, self.nprocs, r)
+                }
+                (Scheme::Block, None) => sched::block_allocation(&partition, &deps, self.nprocs),
+                (Scheme::Wrap, Some(r)) => sched::wrap_allocation_traced(&partition, self.nprocs, r),
+                (Scheme::Wrap, None) => sched::wrap_allocation(&partition, self.nprocs),
             }
         };
-        let traffic = simulate::data_traffic(&factor, &partition, &assignment);
-        let work = simulate::work_distribution(&partition, &assignment);
+
+        let (traffic, work) = {
+            let _phase = rec.map(|r| r.span("phase.simulate"));
+            match rec {
+                Some(r) => (
+                    simulate::data_traffic_traced(&factor, &partition, &assignment, r),
+                    simulate::work_distribution_traced(&partition, &assignment, r),
+                ),
+                None => (
+                    simulate::data_traffic(&factor, &partition, &assignment),
+                    simulate::work_distribution(&partition, &assignment),
+                ),
+            }
+        };
+
         PipelineResult {
             permutation: perm,
             factor,
@@ -166,6 +252,7 @@ impl Pipeline {
             assignment,
             traffic,
             work,
+            recorder,
         }
     }
 }
@@ -187,6 +274,18 @@ pub struct PipelineResult {
     pub traffic: TrafficReport,
     /// Work-distribution metrics (paper's Δ columns).
     pub work: WorkReport,
+    /// The recorder attached via [`Pipeline::with_recorder`], if any.
+    recorder: Option<Arc<Recorder>>,
+}
+
+impl PipelineResult {
+    /// The metrics recorder the pipeline wrote into, if one was attached
+    /// with [`Pipeline::with_recorder`]. Use [`Recorder::to_json`] or
+    /// [`Recorder::to_table`] to export it; the metric names are
+    /// documented in `docs/METRICS.md`.
+    pub fn metrics(&self) -> Option<&Recorder> {
+        self.recorder.as_deref()
+    }
 }
 
 #[cfg(test)]

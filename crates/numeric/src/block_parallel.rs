@@ -21,7 +21,9 @@ use spfactor_matrix::SymmetricCsc;
 use spfactor_partition::{DepGraph, Partition};
 use spfactor_sched::Assignment;
 use spfactor_symbolic::{ops, SymbolicFactor};
+use spfactor_trace::Recorder;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering as AtomicOrdering};
+use std::time::Instant;
 
 /// One update operation, with positions resolved into the shared value
 /// array (entry-id indexing: diagonal `j` at `j`, strict entries at
@@ -72,6 +74,34 @@ pub fn cholesky_block_parallel(
     partition: &Partition,
     deps: &DepGraph,
     assignment: &Assignment,
+) -> Result<NumericFactor, NumericError> {
+    cholesky_block_parallel_impl(a, symbolic, partition, deps, assignment, None)
+}
+
+/// [`cholesky_block_parallel`] that additionally records per-processor
+/// busy and idle wall time into `recorder`: `numeric.block.busy_ns` /
+/// `idle_ns` are summed over the simulated processors,
+/// `numeric.block.units` counts unit blocks executed, and the span
+/// `numeric.block_parallel` times the whole call.
+pub fn cholesky_block_parallel_traced(
+    a: &SymmetricCsc,
+    symbolic: &SymbolicFactor,
+    partition: &Partition,
+    deps: &DepGraph,
+    assignment: &Assignment,
+    recorder: &Recorder,
+) -> Result<NumericFactor, NumericError> {
+    let _span = recorder.span("numeric.block_parallel");
+    cholesky_block_parallel_impl(a, symbolic, partition, deps, assignment, Some(recorder))
+}
+
+fn cholesky_block_parallel_impl(
+    a: &SymmetricCsc,
+    symbolic: &SymbolicFactor,
+    partition: &Partition,
+    deps: &DepGraph,
+    assignment: &Assignment,
+    recorder: Option<&Recorder>,
 ) -> Result<NumericFactor, NumericError> {
     let n = a.n();
     if n != symbolic.n() {
@@ -163,10 +193,21 @@ pub fn cholesky_block_parallel(
             let col_of = &col_of;
             scope.spawn(move |_| {
                 let _ = p;
-                while let Ok(u) = rx.recv() {
+                // Per-processor tallies, merged into the recorder (if
+                // any) once at exit so the hot loop stays lock-free.
+                let mut busy_ns = 0u64;
+                let mut idle_ns = 0u64;
+                let mut units_run = 0u64;
+                loop {
+                    let wait = recorder.map(|_| Instant::now());
+                    let Ok(u) = rx.recv() else { break };
+                    if let Some(t) = wait {
+                        idle_ns += t.elapsed().as_nanos() as u64;
+                    }
                     if u == SENTINEL {
                         break;
                     }
+                    let work = recorder.map(|_| Instant::now());
                     if !failed.load(AtomicOrdering::Acquire) {
                         // Interleave updates and finalization column by
                         // column: for each owned column (ascending), apply
@@ -241,12 +282,22 @@ pub fn cholesky_block_parallel(
                             txs[assignment.proc_of(s)].send(s).expect("queue open");
                         }
                     }
+                    if let Some(t) = work {
+                        busy_ns += t.elapsed().as_nanos() as u64;
+                        units_run += 1;
+                    }
                     if done.fetch_add(1, AtomicOrdering::AcqRel) + 1 == nu {
                         for tx in txs.iter() {
                             let _ = tx.send(SENTINEL);
                         }
                         break;
                     }
+                }
+                if let Some(rec) = recorder {
+                    rec.incr("numeric.block.busy_ns", busy_ns);
+                    rec.incr("numeric.block.idle_ns", idle_ns);
+                    rec.incr("numeric.block.units", units_run);
+                    rec.incr("numeric.block.threads", 1);
                 }
             });
         }

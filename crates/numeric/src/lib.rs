@@ -31,9 +31,10 @@ pub mod parallel;
 pub mod solve;
 pub mod supernodal;
 
-pub use block_parallel::cholesky_block_parallel;
+pub use block_parallel::{cholesky_block_parallel, cholesky_block_parallel_traced};
 pub use factor::{cholesky, NumericFactor};
 pub use multifrontal::cholesky_multifrontal;
+pub use parallel::{cholesky_parallel, cholesky_parallel_traced};
 pub use solve::SpdSolver;
 pub use supernodal::cholesky_supernodal;
 

@@ -14,8 +14,10 @@ use crate::NumericError;
 use crossbeam::channel;
 use spfactor_matrix::SymmetricCsc;
 use spfactor_symbolic::SymbolicFactor;
+use spfactor_trace::Recorder;
 use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
 
 /// A finished column, published once and then shared read-only.
 struct ColumnData {
@@ -33,6 +35,30 @@ pub fn cholesky_parallel(
     a: &SymmetricCsc,
     symbolic: &SymbolicFactor,
     nthreads: usize,
+) -> Result<NumericFactor, NumericError> {
+    cholesky_parallel_impl(a, symbolic, nthreads, None)
+}
+
+/// [`cholesky_parallel`] that additionally records per-thread busy and
+/// idle wall time (and the column count) into `recorder`:
+/// `numeric.parallel.busy_ns` / `idle_ns` are summed across all workers,
+/// `numeric.parallel.columns` counts columns actually computed, and the
+/// span `numeric.parallel` times the whole call.
+pub fn cholesky_parallel_traced(
+    a: &SymmetricCsc,
+    symbolic: &SymbolicFactor,
+    nthreads: usize,
+    recorder: &Recorder,
+) -> Result<NumericFactor, NumericError> {
+    let _span = recorder.span("numeric.parallel");
+    cholesky_parallel_impl(a, symbolic, nthreads, Some(recorder))
+}
+
+fn cholesky_parallel_impl(
+    a: &SymmetricCsc,
+    symbolic: &SymbolicFactor,
+    nthreads: usize,
+    recorder: Option<&Recorder>,
 ) -> Result<NumericFactor, NumericError> {
     let n = a.n();
     if n != symbolic.n() {
@@ -84,11 +110,22 @@ pub fn cholesky_parallel(
             let done = &done;
             let first_error = &first_error;
             scope.spawn(move |_| {
-                while let Ok(j) = rx.recv() {
+                // Per-thread tallies, merged into the recorder (if any)
+                // once at thread exit so the hot loop stays lock-free.
+                let mut busy_ns = 0u64;
+                let mut idle_ns = 0u64;
+                let mut cols_done = 0u64;
+                loop {
+                    let wait = recorder.map(|_| Instant::now());
+                    let Ok(j) = rx.recv() else { break };
+                    if let Some(t) = wait {
+                        idle_ns += t.elapsed().as_nanos() as u64;
+                    }
                     if j == SENTINEL {
                         let _ = tx.send(SENTINEL);
                         break;
                     }
+                    let work = recorder.map(|_| Instant::now());
                     // Compute column j left-looking.
                     let struct_j = symbolic.col(j);
                     let mut acc: Vec<f64> = vec![0.0; struct_j.len()];
@@ -146,11 +183,21 @@ pub fn cholesky_parallel(
                             tx.send(i).expect("queue open");
                         }
                     }
+                    if let Some(t) = work {
+                        busy_ns += t.elapsed().as_nanos() as u64;
+                        cols_done += 1;
+                    }
                     if done.fetch_add(1, AtomicOrdering::AcqRel) + 1 == n {
                         // All columns finished: start the shutdown wave.
                         let _ = tx.send(SENTINEL);
                         break;
                     }
+                }
+                if let Some(rec) = recorder {
+                    rec.incr("numeric.parallel.busy_ns", busy_ns);
+                    rec.incr("numeric.parallel.idle_ns", idle_ns);
+                    rec.incr("numeric.parallel.columns", cols_done);
+                    rec.incr("numeric.parallel.threads", 1);
                 }
             });
         }

@@ -20,6 +20,7 @@ pub mod nested;
 pub mod rcm;
 
 use spfactor_matrix::{Permutation, SymmetricPattern};
+use spfactor_trace::Recorder;
 
 /// Ordering algorithm selector for [`order`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -61,6 +62,39 @@ pub fn order(pattern: &SymmetricPattern, method: Ordering) -> Permutation {
         Ordering::NestedDissection => nested::nested_dissection(pattern),
         Ordering::MinimumFill => mf::minimum_fill(pattern),
         Ordering::ApproximateMinimumDegree => mmd::approximate_minimum_degree(pattern),
+    }
+}
+
+/// [`order`] with instrumentation: times the whole computation under the
+/// span `order.compute` and, for the minimum-degree methods, records the
+/// `order.mmd.*` work counters (see `docs/METRICS.md`).
+///
+/// ```
+/// use spfactor_order::{order_traced, Ordering};
+/// use spfactor_trace::Recorder;
+///
+/// let pattern = spfactor_matrix::gen::lap9(4, 4);
+/// let rec = Recorder::new();
+/// let perm = order_traced(&pattern, Ordering::paper_default(), &rec);
+/// assert_eq!(perm.len(), 16);
+/// if rec.is_enabled() {
+///     assert!(rec.counter("order.mmd.passes") > 0);
+/// }
+/// ```
+pub fn order_traced(
+    pattern: &SymmetricPattern,
+    method: Ordering,
+    recorder: &Recorder,
+) -> Permutation {
+    let _span = recorder.span("order.compute");
+    match method {
+        Ordering::MultipleMinimumDegree { delta } => {
+            mmd::multiple_minimum_degree_traced(pattern, delta, recorder)
+        }
+        Ordering::ApproximateMinimumDegree => {
+            mmd::approximate_minimum_degree_traced(pattern, recorder)
+        }
+        other => order(pattern, other),
     }
 }
 

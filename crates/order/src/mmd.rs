@@ -17,6 +17,7 @@
 //! records the deltas.
 
 use spfactor_matrix::{Permutation, SymmetricPattern};
+use spfactor_trace::Recorder;
 
 /// Sentinel degree for dead variables.
 const DEAD: usize = usize::MAX;
@@ -239,7 +240,19 @@ impl QuotientGraph {
 ///
 /// Returns `perm[new] = old`.
 pub fn multiple_minimum_degree(pattern: &SymmetricPattern, delta: usize) -> Permutation {
-    minimum_degree_impl(pattern, delta, false)
+    minimum_degree_impl(pattern, delta, false, None)
+}
+
+/// [`multiple_minimum_degree`] with instrumentation: records the number
+/// of elimination passes, supervariable eliminations, degree updates and
+/// indistinguishable-variable merges under `order.mmd.*` (see
+/// `docs/METRICS.md`).
+pub fn multiple_minimum_degree_traced(
+    pattern: &SymmetricPattern,
+    delta: usize,
+    recorder: &Recorder,
+) -> Permutation {
+    minimum_degree_impl(pattern, delta, false, Some(recorder))
 }
 
 /// Approximate minimum degree: the same quotient-graph elimination as
@@ -253,16 +266,37 @@ pub fn multiple_minimum_degree(pattern: &SymmetricPattern, delta: usize) -> Perm
 /// update. Included as a comparison point; the production ordering
 /// remains [`multiple_minimum_degree`].
 pub fn approximate_minimum_degree(pattern: &SymmetricPattern) -> Permutation {
-    minimum_degree_impl(pattern, 0, true)
+    minimum_degree_impl(pattern, 0, true, None)
 }
 
-fn minimum_degree_impl(pattern: &SymmetricPattern, delta: usize, approx: bool) -> Permutation {
+/// [`approximate_minimum_degree`] with instrumentation; records the same
+/// `order.mmd.*` counters as [`multiple_minimum_degree_traced`].
+pub fn approximate_minimum_degree_traced(
+    pattern: &SymmetricPattern,
+    recorder: &Recorder,
+) -> Permutation {
+    minimum_degree_impl(pattern, 0, true, Some(recorder))
+}
+
+fn minimum_degree_impl(
+    pattern: &SymmetricPattern,
+    delta: usize,
+    approx: bool,
+    recorder: Option<&Recorder>,
+) -> Permutation {
     let n = pattern.n();
     let mut q = QuotientGraph::new(pattern);
     let mut order: Vec<usize> = Vec::with_capacity(n);
     let mut eliminated = 0usize;
+    // Tallied in locals and recorded once at the end, keeping the
+    // recorder's mutex entirely out of the elimination loop.
+    let mut passes = 0u64;
+    let mut eliminations = 0u64;
+    let mut degree_updates = 0u64;
+    let mut merges = 0u64;
 
     while eliminated < n {
+        passes += 1;
         // Minimum degree among live variables.
         let mindeg = (0..n)
             .filter(|&v| q.live(v))
@@ -285,6 +319,7 @@ fn minimum_degree_impl(pattern: &SymmetricPattern, delta: usize, approx: bool) -
                 continue;
             }
             let (_e, boundary) = q.eliminate(v);
+            eliminations += 1;
             // Emit v and everything merged into it, supervariable members
             // eliminated consecutively (paper's "mass" numbering).
             order.push(v);
@@ -303,10 +338,15 @@ fn minimum_degree_impl(pattern: &SymmetricPattern, delta: usize, approx: bool) -
         touched.retain(|&u| q.live(u));
 
         // Merge indistinguishable variables among the touched set, then
-        // recompute degrees.
+        // recompute degrees. Variables merged away here (live before, dead
+        // after) are exactly the pass's supervariable absorptions.
+        let live_before = touched.iter().filter(|&&u| q.live(u)).count() as u64;
         q.merge_indistinguishable(&touched);
+        let mut live_after = 0u64;
         for &u in &touched {
             if q.live(u) {
+                live_after += 1;
+                degree_updates += 1;
                 if approx {
                     q.update_degree_approx(u);
                 } else {
@@ -314,8 +354,15 @@ fn minimum_degree_impl(pattern: &SymmetricPattern, delta: usize, approx: bool) -
                 }
             }
         }
+        merges += live_before - live_after;
     }
 
+    if let Some(rec) = recorder {
+        rec.incr("order.mmd.passes", passes);
+        rec.incr("order.mmd.eliminations", eliminations);
+        rec.incr("order.mmd.degree_updates", degree_updates);
+        rec.incr("order.mmd.supervariable_merges", merges);
+    }
     debug_assert_eq!(order.len(), n);
     Permutation::from_vec(order).expect("MMD eliminates every variable exactly once")
 }

@@ -33,29 +33,66 @@
 use crate::block::UnitShape;
 use crate::units::Partition;
 use spfactor_symbolic::{ops, SymbolicFactor};
+use spfactor_trace::Recorder;
 
-/// The paper's ten dependency categories.
+/// The paper's ten dependency categories (§3.3, Figure 4).
+///
+/// Each category names the §3 geometry of one update template: the
+/// shapes of the *external* source unit blocks supplying `L(i,k)` and
+/// `L(j,k)`, and the shape of the target block owning `L(i,j)`. The
+/// paper's classification is exhaustive for valid partitions — every
+/// cross-block operation of the factorization falls into exactly one row:
+///
+/// | # | variant | §3 geometry of the update |
+/// |---|---------|---------------------------|
+/// | 1 | [`ColUpdatesCol`](Self::ColUpdatesCol) | both source elements lie in one single-column unit `c_k`; the target element is in a later column unit `c_j` (the classic column-Cholesky dependency of Fig. 1) |
+/// | 2 | [`ColUpdatesTri`](Self::ColUpdatesTri) | both source elements in a column unit; the target `(i,j)` falls inside a diagonal sub-triangle of a strip, `i` and `j` both within the triangle's extent |
+/// | 3 | [`ColUpdatesRect`](Self::ColUpdatesRect) | both source elements in a column unit; the target falls in a sub-rectangle — `j` in the rectangle's column extent, `i` in its row extent below the strip diagonal |
+/// | 4 | [`TriUpdatesRect`](Self::TriUpdatesRect) | the `(j,k)` element lies in a sub-triangle of an earlier strip and `(i,k)` in the *same* strip's below-rectangle sharing its columns; the update lands in a rectangle of a later cluster |
+/// | 5 | [`TriRectUpdateRect`](Self::TriRectUpdateRect) | like 4, but `(j,k)` and `(i,k)` live in two *distinct* units — one triangle plus one rectangle of an earlier strip — jointly updating a rectangle |
+/// | 6 | [`RectUpdatesCol`](Self::RectUpdatesCol) | both source elements in one below-diagonal sub-rectangle (rows `i` and `j` inside its row extent); the target is a single-column unit `c_j` |
+/// | 7 | [`TwoRectsUpdateCol`](Self::TwoRectsUpdateCol) | `(i,k)` and `(j,k)` in two different sub-rectangles of the same source strip (their row extents cover `i` and `j` separately); the target is a column unit |
+/// | 8 | [`RectUpdatesTri`](Self::RectUpdatesTri) | both source elements in one sub-rectangle whose row extent meets a later strip's diagonal block; the target is that strip's sub-triangle |
+/// | 9 | [`TwoRectsUpdateTri`](Self::TwoRectsUpdateTri) | two distinct sub-rectangles supply `(i,k)` and `(j,k)`; the target `(i,j)` sits in a sub-triangle of a later strip |
+/// |10 | [`TwoRectsUpdateRect`](Self::TwoRectsUpdateRect) | two sub-rectangles (the template admits `R1 = R2`) update a sub-rectangle of a later strip — the dominant category on large grids |
+///
+/// The geometric dependency builder evaluates these templates with
+/// interval intersection tests over block extents (see
+/// [`geometric_dependencies`]); the exact builder ([`dependencies`])
+/// tallies how many element operations fall in each category, exposed via
+/// [`DepGraph::ops_in_category`] and the `partition.deps.category.<n>`
+/// metrics documented in `docs/METRICS.md`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum DepCategory {
-    /// 1. A column updates a column.
+    /// 1. A column updates a column — both sources in one column unit,
+    /// target in a later column unit (Fig. 1's column dependency).
     ColUpdatesCol,
-    /// 2. A column updates a triangle.
+    /// 2. A column updates a triangle — sources in a column unit, target
+    /// inside a strip's diagonal sub-triangle.
     ColUpdatesTri,
-    /// 3. A column updates a rectangle.
+    /// 3. A column updates a rectangle — sources in a column unit, target
+    /// in a below-diagonal sub-rectangle of a strip.
     ColUpdatesRect,
-    /// 4. A triangle updates a rectangle.
+    /// 4. A triangle updates a rectangle — `(j,k)` in a sub-triangle,
+    /// `(i,k)` directly below it in the same strip, target a rectangle.
     TriUpdatesRect,
-    /// 5. A triangle and a rectangle update a rectangle.
+    /// 5. A triangle and a rectangle update a rectangle — the two source
+    /// elements split across a triangle and a rectangle of one strip.
     TriRectUpdateRect,
-    /// 6. A rectangle updates a column.
+    /// 6. A rectangle updates a column — both sources in one
+    /// sub-rectangle, target a single-column unit.
     RectUpdatesCol,
-    /// 7. Two rectangles update a column.
+    /// 7. Two rectangles update a column — sources in two different
+    /// sub-rectangles of the source strip, target a column unit.
     TwoRectsUpdateCol,
-    /// 8. A rectangle updates a triangle.
+    /// 8. A rectangle updates a triangle — both sources in one
+    /// sub-rectangle whose rows meet a later strip's diagonal block.
     RectUpdatesTri,
-    /// 9. Two rectangles update a triangle.
+    /// 9. Two rectangles update a triangle — sources in two
+    /// sub-rectangles, target a diagonal sub-triangle.
     TwoRectsUpdateTri,
-    /// 10. Two rectangles update a rectangle.
+    /// 10. Two rectangles update a rectangle (`R1 = R2` allowed) — the
+    /// dominant category on large mesh problems.
     TwoRectsUpdateRect,
 }
 
@@ -269,6 +306,30 @@ pub fn dependencies(factor: &SymbolicFactor, partition: &Partition) -> DepGraph 
     }
 }
 
+/// [`dependencies`] with instrumentation: times the construction under
+/// the span `partition.deps` and records the graph's shape — edge count,
+/// independent-unit count and the per-category operation histogram
+/// `partition.deps.category.1` … `.10` (see `docs/METRICS.md`).
+pub fn dependencies_traced(
+    factor: &SymbolicFactor,
+    partition: &Partition,
+    recorder: &Recorder,
+) -> DepGraph {
+    let graph = recorder.time("partition.deps", || dependencies(factor, partition));
+    recorder.gauge("partition.deps.edges", graph.num_edges() as f64);
+    recorder.gauge(
+        "partition.deps.independent_units",
+        graph.independent_units().len() as f64,
+    );
+    for c in DepCategory::all() {
+        recorder.incr(
+            &format!("partition.deps.category.{}", c.number()),
+            graph.ops_in_category(c) as u64,
+        );
+    }
+    graph
+}
+
 /// Geometric (interval-tree) dependency construction — the paper's own
 /// §3.3 strategy: "using this classification and the interval tree
 /// structure, the partitioner computes the dependencies efficiently".
@@ -279,7 +340,8 @@ pub fn dependencies(factor: &SymbolicFactor, partition: &Partition) -> DepGraph 
 /// `S`'s row span intersects `T`'s row-or-column span (the source
 /// elements `(i,k)`, `(j,k)` have row indices equal to the target's `i`
 /// or `j`). These are the intersection tests of the ten templates,
-/// evaluated with an [`IntervalTree`] over row spans.
+/// evaluated with an [`IntervalTree`](spfactor_interval::IntervalTree)
+/// over row spans.
 ///
 /// The geometric graph is a **superset** of the exact one returned by
 /// [`dependencies`]: intersection of extents is necessary but not
@@ -287,6 +349,28 @@ pub fn dependencies(factor: &SymbolicFactor, partition: &Partition) -> DepGraph 
 /// (zeros between blocks break some candidate pairs). Tests assert the
 /// containment; the exact builder remains the one the scheduler uses.
 pub fn geometric_dependencies(factor: &SymbolicFactor, partition: &Partition) -> Vec<Vec<u32>> {
+    geometric_dependencies_impl(factor, partition, None)
+}
+
+/// [`geometric_dependencies`] with instrumentation: times the build under
+/// the span `partition.deps.geometric` and counts the interval-tree work —
+/// `partition.interval.queries` (one per `for_each_overlapping` call, two
+/// per target unit) and `partition.interval.candidates` (total overlap
+/// reports before column-order pruning). See `docs/METRICS.md`.
+pub fn geometric_dependencies_traced(
+    factor: &SymbolicFactor,
+    partition: &Partition,
+    recorder: &Recorder,
+) -> Vec<Vec<u32>> {
+    let _span = recorder.span("partition.deps.geometric");
+    geometric_dependencies_impl(factor, partition, Some(recorder))
+}
+
+fn geometric_dependencies_impl(
+    factor: &SymbolicFactor,
+    partition: &Partition,
+    recorder: Option<&Recorder>,
+) -> Vec<Vec<u32>> {
     use spfactor_interval::{Interval, IntervalTree};
     let nu = partition.num_units();
     // Row span of each unit: for columns, the diagonal through the last
@@ -303,6 +387,8 @@ pub fn geometric_dependencies(factor: &SymbolicFactor, partition: &Partition) ->
     };
     let tree = IntervalTree::build((0..nu).map(|u| (row_span(u), u as u32)).collect());
     let mut preds: Vec<Vec<u32>> = vec![Vec::new(); nu];
+    let mut queries = 0u64;
+    let mut candidates = 0u64;
     for (t, pred_list) in preds.iter_mut().enumerate() {
         let tcols = partition.units[t].shape.col_extent();
         let trows = partition.units[t].shape.row_extent();
@@ -312,6 +398,8 @@ pub fn geometric_dependencies(factor: &SymbolicFactor, partition: &Partition) ->
         let mut cand: Vec<u32> = Vec::new();
         tree.for_each_overlapping(tcols, |_, &s| cand.push(s));
         tree.for_each_overlapping(trows, |_, &s| cand.push(s));
+        queries += 2;
+        candidates += cand.len() as u64;
         cand.sort_unstable();
         cand.dedup();
         for s in cand {
@@ -326,6 +414,10 @@ pub fn geometric_dependencies(factor: &SymbolicFactor, partition: &Partition) ->
                 pred_list.push(s);
             }
         }
+    }
+    if let Some(rec) = recorder {
+        rec.incr("partition.interval.queries", queries);
+        rec.incr("partition.interval.candidates", candidates);
     }
     preds
 }

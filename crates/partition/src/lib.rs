@@ -24,7 +24,10 @@ pub mod units;
 
 pub use block::{Cluster, ClusterKind, UnitBlock, UnitShape};
 pub use cluster::identify_clusters;
-pub use deps::{dependencies, geometric_dependencies, DepCategory, DepGraph};
+pub use deps::{
+    dependencies, dependencies_traced, geometric_dependencies, geometric_dependencies_traced,
+    DepCategory, DepGraph,
+};
 pub use units::Partition;
 
 /// Tunable parameters of the partitioner.

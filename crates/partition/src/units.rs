@@ -16,6 +16,7 @@ use crate::cluster::{cluster_of_column, identify_clusters};
 use crate::PartitionParams;
 use spfactor_interval::Interval;
 use spfactor_symbolic::{ops, SymbolicFactor};
+use spfactor_trace::Recorder;
 
 /// The result of partitioning a symbolic factor: clusters, unit blocks in
 /// allocation scan order, and the element → unit ownership map.
@@ -82,6 +83,51 @@ impl Partition {
     pub fn build(factor: &SymbolicFactor, params: &PartitionParams) -> Partition {
         let clusters = identify_clusters(factor, params);
         Self::from_clusters(factor, clusters, *params)
+    }
+
+    /// [`build`](Self::build) with instrumentation: times cluster
+    /// identification (`partition.identify_clusters`) and unit layout
+    /// (`partition.split_units`) separately and records the resulting
+    /// shape of the partition — cluster counts by kind, unit counts by
+    /// shape, total work — as `partition.*` gauges (see
+    /// `docs/METRICS.md`).
+    pub fn build_traced(
+        factor: &SymbolicFactor,
+        params: &PartitionParams,
+        recorder: &Recorder,
+    ) -> Partition {
+        let clusters = recorder.time("partition.identify_clusters", || {
+            identify_clusters(factor, params)
+        });
+        let part = recorder.time("partition.split_units", || {
+            Self::from_clusters(factor, clusters, *params)
+        });
+        part.record_stats(recorder);
+        part
+    }
+
+    /// Records this partition's shape as `partition.*` gauges.
+    pub fn record_stats(&self, recorder: &Recorder) {
+        let strips = self.clusters.iter().filter(|c| !c.is_single()).count();
+        recorder.gauge("partition.clusters", self.clusters.len() as f64);
+        recorder.gauge("partition.clusters.strip", strips as f64);
+        recorder.gauge(
+            "partition.clusters.single_column",
+            (self.clusters.len() - strips) as f64,
+        );
+        let mut by_shape = [0usize; 3];
+        for u in &self.units {
+            match u.shape {
+                UnitShape::Column { .. } => by_shape[0] += 1,
+                UnitShape::Triangle { .. } => by_shape[1] += 1,
+                UnitShape::Rectangle { .. } => by_shape[2] += 1,
+            }
+        }
+        recorder.gauge("partition.units", self.units.len() as f64);
+        recorder.gauge("partition.units.column", by_shape[0] as f64);
+        recorder.gauge("partition.units.triangle", by_shape[1] as f64);
+        recorder.gauge("partition.units.rectangle", by_shape[2] as f64);
+        recorder.gauge("partition.total_work", self.total_work() as f64);
     }
 
     /// A degenerate partition with one column unit per column — the layout

@@ -23,6 +23,7 @@ pub mod export;
 pub mod proportional;
 
 use spfactor_partition::{DepGraph, Partition, UnitShape};
+use spfactor_trace::Recorder;
 
 /// A unit-block → processor assignment.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -66,7 +67,55 @@ impl Assignment {
 ///    order of increasing accumulated work, re-sorted after each
 ///    rectangle.
 pub fn block_allocation(partition: &Partition, deps: &DepGraph, nprocs: usize) -> Assignment {
+    block_allocation_impl(partition, deps, nprocs, None)
+}
+
+/// [`block_allocation`] with instrumentation: times the allocation under
+/// the span `sched.block_allocation` and counts how often each heuristic
+/// branch fired — `sched.alloc.independent_wrap`, `.dependent_pred`,
+/// `.dependent_pool`, `.triangle_pred`, `.triangle_pool` and `.rect_rr`
+/// (see `docs/METRICS.md`). The branch counts sum to the number of units.
+pub fn block_allocation_traced(
+    partition: &Partition,
+    deps: &DepGraph,
+    nprocs: usize,
+    recorder: &Recorder,
+) -> Assignment {
+    let _span = recorder.span("sched.block_allocation");
+    block_allocation_impl(partition, deps, nprocs, Some(recorder))
+}
+
+/// Branch tallies for one [`block_allocation`] run, accumulated in locals
+/// so the recorder mutex stays out of the allocation loop.
+#[derive(Default)]
+struct AllocStats {
+    independent_wrap: u64,
+    dependent_pred: u64,
+    dependent_pool: u64,
+    triangle_pred: u64,
+    triangle_pool: u64,
+    rect_rr: u64,
+}
+
+impl AllocStats {
+    fn record(&self, recorder: &Recorder) {
+        recorder.incr("sched.alloc.independent_wrap", self.independent_wrap);
+        recorder.incr("sched.alloc.dependent_pred", self.dependent_pred);
+        recorder.incr("sched.alloc.dependent_pool", self.dependent_pool);
+        recorder.incr("sched.alloc.triangle_pred", self.triangle_pred);
+        recorder.incr("sched.alloc.triangle_pool", self.triangle_pool);
+        recorder.incr("sched.alloc.rect_rr", self.rect_rr);
+    }
+}
+
+fn block_allocation_impl(
+    partition: &Partition,
+    deps: &DepGraph,
+    nprocs: usize,
+    recorder: Option<&Recorder>,
+) -> Assignment {
     assert!(nprocs > 0, "need at least one processor");
+    let mut stats = AllocStats::default();
     let nu = partition.num_units();
     const UNASSIGNED: u32 = u32::MAX;
     let mut proc_of_unit = vec![UNASSIGNED; nu];
@@ -90,6 +139,7 @@ pub fn block_allocation(partition: &Partition, deps: &DepGraph, nprocs: usize) -
         if matches!(u.shape, UnitShape::Column { .. }) && deps.preds(u.id).is_empty() {
             let p = next_global(&mut marker);
             assign(u.id, p, &mut proc_of_unit, &mut work);
+            stats.independent_wrap += 1;
         }
     }
 
@@ -117,7 +167,14 @@ pub fn block_allocation(partition: &Partition, deps: &DepGraph, nprocs: usize) -
                         let sp = proc_of_unit[s as usize];
                         (sp != UNASSIGNED).then_some(sp as usize)
                     })
-                    .unwrap_or_else(|| next_global(&mut marker));
+                    .map(|p| {
+                        stats.dependent_pred += 1;
+                        p
+                    })
+                    .unwrap_or_else(|| {
+                        stats.dependent_pool += 1;
+                        next_global(&mut marker)
+                    });
                 assign(u, p, &mut proc_of_unit, &mut work);
             }
         } else {
@@ -141,7 +198,16 @@ pub fn block_allocation(partition: &Partition, deps: &DepGraph, nprocs: usize) -
                         break;
                     }
                 }
-                let p = chosen.unwrap_or_else(|| next_global(&mut marker));
+                let p = match chosen {
+                    Some(p) => {
+                        stats.triangle_pred += 1;
+                        p
+                    }
+                    None => {
+                        stats.triangle_pool += 1;
+                        next_global(&mut marker)
+                    }
+                };
                 if !pa.contains(&p) {
                     pa.push(p);
                 }
@@ -193,6 +259,7 @@ pub fn block_allocation(partition: &Partition, deps: &DepGraph, nprocs: usize) -
                     let p = order[rr % order.len()];
                     rr += 1;
                     assign(u, p, &mut proc_of_unit, &mut work);
+                    stats.rect_rr += 1;
                     u += 1;
                 }
             }
@@ -201,6 +268,9 @@ pub fn block_allocation(partition: &Partition, deps: &DepGraph, nprocs: usize) -
     }
 
     debug_assert!(proc_of_unit.iter().all(|&p| p != UNASSIGNED));
+    if let Some(rec) = recorder {
+        stats.record(rec);
+    }
     Assignment {
         nprocs,
         proc_of_unit,
@@ -224,6 +294,24 @@ pub fn wrap_allocation(partition: &Partition, nprocs: usize) -> Assignment {
         nprocs,
         proc_of_unit,
     }
+}
+
+/// [`wrap_allocation`] with instrumentation: times the assignment under
+/// the span `sched.wrap_allocation` and counts the wrapped columns as
+/// `sched.alloc.wrap_columns`.
+pub fn wrap_allocation_traced(
+    partition: &Partition,
+    nprocs: usize,
+    recorder: &Recorder,
+) -> Assignment {
+    let assignment = recorder.time("sched.wrap_allocation", || {
+        wrap_allocation(partition, nprocs)
+    });
+    recorder.incr(
+        "sched.alloc.wrap_columns",
+        assignment.proc_of_unit.len() as u64,
+    );
+    assignment
 }
 
 #[cfg(test)]

@@ -27,6 +27,7 @@ pub mod trisolve;
 use spfactor_partition::Partition;
 use spfactor_sched::Assignment;
 use spfactor_symbolic::{ops, SymbolicFactor};
+use spfactor_trace::Recorder;
 
 /// Result of the data-traffic simulation.
 #[derive(Clone, Debug, PartialEq)]
@@ -100,6 +101,37 @@ pub fn data_traffic(
     partition: &Partition,
     assignment: &Assignment,
 ) -> TrafficReport {
+    data_traffic_impl(factor, partition, assignment, None)
+}
+
+/// [`data_traffic`] with instrumentation: times the simulation under the
+/// span `simulate.data_traffic`, counts every source-element access by
+/// outcome — `simulate.traffic.remote_fetches` (first remote read, the
+/// unit of paper traffic), `simulate.traffic.cache_hits` (remote element
+/// already fetched) and `simulate.traffic.local_accesses` — and records
+/// the report's totals as `simulate.traffic.*` gauges (see
+/// `docs/METRICS.md`).
+pub fn data_traffic_traced(
+    factor: &SymbolicFactor,
+    partition: &Partition,
+    assignment: &Assignment,
+    recorder: &Recorder,
+) -> TrafficReport {
+    let report = recorder.time("simulate.data_traffic", || {
+        data_traffic_impl(factor, partition, assignment, Some(recorder))
+    });
+    recorder.gauge("simulate.traffic.total", report.total as f64);
+    recorder.gauge("simulate.traffic.mean", report.mean() as f64);
+    recorder.gauge("simulate.traffic.max_pair", report.max_pair() as f64);
+    report
+}
+
+fn data_traffic_impl(
+    factor: &SymbolicFactor,
+    partition: &Partition,
+    assignment: &Assignment,
+    recorder: Option<&Recorder>,
+) -> TrafficReport {
     let nprocs = assignment.nprocs;
     let owner = partition.owner_map();
     let entries = factor.num_entries();
@@ -107,34 +139,68 @@ pub fn data_traffic(
     let mut seen: Vec<BitSet> = (0..nprocs).map(|_| BitSet::new(entries)).collect();
     let mut per_proc = vec![0usize; nprocs];
     let mut pair_matrix = vec![0usize; nprocs * nprocs];
+    // Access tallies [remote fetch, cache hit, local], recorded at the end.
+    let mut accesses = [0u64; 3];
 
     let eid = |i: usize, j: usize| factor.entry_id(i, j).expect("factor entry");
     let touch = |src: usize,
                  dst_proc: usize,
                  seen: &mut Vec<BitSet>,
                  per_proc: &mut Vec<usize>,
-                 pair_matrix: &mut Vec<usize>| {
+                 pair_matrix: &mut Vec<usize>,
+                 accesses: &mut [u64; 3]| {
         let sp = proc_of_entry(src);
-        if sp != dst_proc && seen[dst_proc].insert(src) {
+        if sp == dst_proc {
+            accesses[2] += 1;
+        } else if seen[dst_proc].insert(src) {
+            accesses[0] += 1;
             per_proc[dst_proc] += 1;
             pair_matrix[sp * nprocs + dst_proc] += 1;
+        } else {
+            accesses[1] += 1;
         }
     };
 
     ops::for_each_update(factor, |op| {
         let t = proc_of_entry(eid(op.i, op.j));
         let s1 = eid(op.i, op.k);
-        touch(s1, t, &mut seen, &mut per_proc, &mut pair_matrix);
+        touch(
+            s1,
+            t,
+            &mut seen,
+            &mut per_proc,
+            &mut pair_matrix,
+            &mut accesses,
+        );
         if op.i != op.j {
             let s2 = eid(op.j, op.k);
-            touch(s2, t, &mut seen, &mut per_proc, &mut pair_matrix);
+            touch(
+                s2,
+                t,
+                &mut seen,
+                &mut per_proc,
+                &mut pair_matrix,
+                &mut accesses,
+            );
         }
     });
     ops::for_each_scaling(factor, |i, j| {
         let t = proc_of_entry(eid(i, j));
-        touch(eid(j, j), t, &mut seen, &mut per_proc, &mut pair_matrix);
+        touch(
+            eid(j, j),
+            t,
+            &mut seen,
+            &mut per_proc,
+            &mut pair_matrix,
+            &mut accesses,
+        );
     });
 
+    if let Some(rec) = recorder {
+        rec.incr("simulate.traffic.remote_fetches", accesses[0]);
+        rec.incr("simulate.traffic.cache_hits", accesses[1]);
+        rec.incr("simulate.traffic.local_accesses", accesses[2]);
+    }
     TrafficReport {
         total: per_proc.iter().sum(),
         per_proc,
@@ -194,6 +260,24 @@ pub fn work_distribution(partition: &Partition, assignment: &Assignment) -> Work
         total: per_proc.iter().sum(),
         per_proc,
     }
+}
+
+/// [`work_distribution`] with instrumentation: records the report's
+/// headline numbers — `simulate.work.total`, `.max`, `.imbalance` (the
+/// paper's Δ) and `.efficiency` — as gauges (see `docs/METRICS.md`).
+pub fn work_distribution_traced(
+    partition: &Partition,
+    assignment: &Assignment,
+    recorder: &Recorder,
+) -> WorkReport {
+    let report = recorder.time("simulate.work_distribution", || {
+        work_distribution(partition, assignment)
+    });
+    recorder.gauge("simulate.work.total", report.total as f64);
+    recorder.gauge("simulate.work.max", report.max() as f64);
+    recorder.gauge("simulate.work.imbalance", report.imbalance());
+    recorder.gauge("simulate.work.efficiency", report.efficiency());
+    report
 }
 
 #[cfg(test)]

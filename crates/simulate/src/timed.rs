@@ -11,6 +11,7 @@
 use spfactor_partition::{DepGraph, Partition};
 use spfactor_sched::Assignment;
 use spfactor_symbolic::{ops, SymbolicFactor};
+use spfactor_trace::Recorder;
 use std::collections::BinaryHeap;
 
 /// How each processor orders the ready units assigned to it — the
@@ -139,6 +140,44 @@ pub fn simulate_timed_policy(
     model: &CommModel,
     policy: OrderPolicy,
 ) -> TimedReport {
+    simulate_timed_impl(factor, partition, deps, assignment, model, policy, None)
+}
+
+/// [`simulate_timed_policy`] that additionally records the idle-time
+/// breakdown into `recorder`: the makespan, the aggregate busy time split
+/// into compute vs. communication (transfer) components, and the idle
+/// fraction that the paper's untimed metrics assume is negligible.
+pub fn simulate_timed_traced(
+    factor: &SymbolicFactor,
+    partition: &Partition,
+    deps: &DepGraph,
+    assignment: &Assignment,
+    model: &CommModel,
+    policy: OrderPolicy,
+    recorder: &Recorder,
+) -> TimedReport {
+    let _span = recorder.span("simulate.timed");
+    simulate_timed_impl(
+        factor,
+        partition,
+        deps,
+        assignment,
+        model,
+        policy,
+        Some(recorder),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn simulate_timed_impl(
+    factor: &SymbolicFactor,
+    partition: &Partition,
+    deps: &DepGraph,
+    assignment: &Assignment,
+    model: &CommModel,
+    policy: OrderPolicy,
+    recorder: Option<&Recorder>,
+) -> TimedReport {
     let nu = partition.num_units();
     let nprocs = assignment.nprocs;
 
@@ -199,6 +238,10 @@ pub fn simulate_timed_policy(
     }
     let mut done = 0usize;
     let mut makespan = 0.0f64;
+    // Idle-breakdown tallies, recorded once at the end when tracing.
+    let mut compute_time = 0.0f64;
+    let mut transfer_time = 0.0f64;
+    let mut remote_messages = 0u64;
     // A global event heap keyed by candidate start times keeps the
     // greedy "run the best ready unit as early as possible" exact.
     #[derive(PartialEq)]
@@ -239,8 +282,11 @@ pub fn simulate_timed_policy(
             continue;
         }
         let start = start.max(proc_free[p]).max(data_ready[u]);
-        let duration = partition.units[u].work as f64 * model.per_work
-            + remote_elems[u] as f64 * model.per_element;
+        let compute = partition.units[u].work as f64 * model.per_work;
+        let transfer = remote_elems[u] as f64 * model.per_element;
+        compute_time += compute;
+        transfer_time += transfer;
+        let duration = compute + transfer;
         let end = start + duration;
         ready[p].pop();
         finish[u] = end.max(f64::MIN_POSITIVE);
@@ -252,7 +298,12 @@ pub fn simulate_timed_policy(
         for &s in deps.succs(u) {
             let s = s as usize;
             let sp = assignment.proc_of(s);
-            let arrival = if sp == p { end } else { end + model.latency };
+            let arrival = if sp == p {
+                end
+            } else {
+                remote_messages += 1;
+                end + model.latency
+            };
             data_ready[s] = data_ready[s].max(arrival);
             remaining[s] -= 1;
             if remaining[s] == 0 {
@@ -268,6 +319,25 @@ pub fn simulate_timed_policy(
 
     let total_work: f64 = partition.units.iter().map(|u| u.work as f64).sum();
     let seq = total_work * model.per_work;
+    if let Some(rec) = recorder {
+        let busy_total: f64 = busy.iter().sum();
+        let capacity = makespan * nprocs as f64;
+        let idle_total = (capacity - busy_total).max(0.0);
+        let max_idle = busy
+            .iter()
+            .map(|&b| (makespan - b).max(0.0))
+            .fold(0.0f64, f64::max);
+        rec.gauge("simulate.timed.makespan", makespan);
+        rec.gauge("simulate.timed.busy.compute", compute_time);
+        rec.gauge("simulate.timed.busy.transfer", transfer_time);
+        rec.gauge("simulate.timed.idle.total", idle_total);
+        rec.gauge(
+            "simulate.timed.idle.frac",
+            if capacity > 0.0 { idle_total / capacity } else { 0.0 },
+        );
+        rec.gauge("simulate.timed.idle.max_proc", max_idle);
+        rec.incr("simulate.timed.remote_messages", remote_messages);
+    }
     TimedReport {
         makespan,
         speedup: if makespan > 0.0 { seq / makespan } else { 1.0 },

@@ -2,6 +2,7 @@
 
 use spfactor_matrix::SymmetricPattern;
 use spfactor_order::etree::EliminationTree;
+use spfactor_trace::Recorder;
 
 /// The symbolic Cholesky factor of a (pre-ordered) symmetric matrix:
 /// the strict-lower-triangle structure of L, plus the elimination tree it
@@ -65,6 +66,25 @@ impl SymbolicFactor {
             etree,
             nnz_a_strict: pattern.nnz_strict_lower(),
         }
+    }
+
+    /// [`from_pattern`](Self::from_pattern) with instrumentation: times
+    /// the construction under the span `symbolic.from_pattern` and records
+    /// the factor's headline statistics as `symbolic.*` gauges — `n`,
+    /// `nnz_lower`, `fill_in`, `flops`, `paper_work` and the fundamental
+    /// supernode count (see `docs/METRICS.md`).
+    pub fn from_pattern_traced(pattern: &SymmetricPattern, recorder: &Recorder) -> Self {
+        let factor = recorder.time("symbolic.from_pattern", || Self::from_pattern(pattern));
+        recorder.gauge("symbolic.n", factor.n() as f64);
+        recorder.gauge("symbolic.nnz_lower", factor.nnz_lower() as f64);
+        recorder.gauge("symbolic.fill_in", factor.fill_in() as f64);
+        recorder.gauge("symbolic.flops", factor.flop_count() as f64);
+        recorder.gauge("symbolic.paper_work", factor.paper_work() as f64);
+        recorder.gauge(
+            "symbolic.fundamental_supernodes",
+            crate::supernode::fundamental_supernodes(&factor).len() as f64,
+        );
+        factor
     }
 
     /// Matrix dimension.

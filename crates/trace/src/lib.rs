@@ -1,0 +1,609 @@
+//! Structured instrumentation for the spfactor pipeline.
+//!
+//! Every phase of the pipeline — ordering, symbolic factorization,
+//! partitioning, scheduling, simulation and the numeric executors — can
+//! report what it did through a shared [`Recorder`]. The recorder keeps
+//! three kinds of metrics, all exported under stable dotted names
+//! (documented in `docs/METRICS.md` at the repository root):
+//!
+//! * **Counters** — monotonic `u64` event counts, bumped with
+//!   [`Recorder::incr`]. Used for things that happen many times: degree
+//!   updates inside minimum-degree ordering, interval-tree probes,
+//!   scheduler branch decisions, simulated cache hits.
+//! * **Gauges** — `f64` point-in-time values, set with
+//!   [`Recorder::gauge`]. Used for result-shaped statistics: fill-in,
+//!   number of clusters, total traffic, load-imbalance ratios.
+//! * **Spans** — wall-clock timers, opened with [`Recorder::span`] (an
+//!   RAII guard) or wrapped around a closure with [`Recorder::time`].
+//!   Each span name accumulates a call count and total nanoseconds.
+//!
+//! # Thread safety
+//!
+//! [`Recorder`] is `Send + Sync`; all state sits behind one `Mutex`.
+//! The intended usage pattern keeps that mutex off hot paths: algorithms
+//! accumulate counts in locals and record them once at the end, and the
+//! parallel executors keep per-thread tallies that are merged after the
+//! workers join. Only span open/close and the final bulk recording take
+//! the lock.
+//!
+//! # Compile-time removal
+//!
+//! Instrumentation is behind the `trace` cargo feature (on by default).
+//! With `--no-default-features` the recorder stores nothing and every
+//! method body is an `#[inline]` empty stub, so the instrumented code
+//! paths cost nothing. The API is identical in both modes — reads return
+//! zero/`None`, and [`Recorder::to_json`] still emits a document with the
+//! same top-level keys — so callers never need `cfg` guards. Use
+//! [`Recorder::is_enabled`] when behaviour must differ at runtime.
+//!
+//! # Example
+//!
+//! ```
+//! use spfactor_trace::Recorder;
+//!
+//! let rec = Recorder::new();
+//! {
+//!     let _span = rec.span("phase.order");
+//!     rec.incr("order.mmd.degree_updates", 3);
+//! }
+//! rec.gauge("symbolic.fill_in", 42.0);
+//!
+//! if rec.is_enabled() {
+//!     assert_eq!(rec.counter("order.mmd.degree_updates"), 3);
+//!     assert_eq!(rec.gauge_value("symbolic.fill_in"), Some(42.0));
+//!     assert_eq!(rec.span_stats("phase.order").unwrap().count, 1);
+//! }
+//! // The JSON export always has the same shape, traced or not.
+//! assert!(rec.to_json().contains("\"counters\""));
+//! ```
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+#[cfg(feature = "trace")]
+use std::collections::BTreeMap;
+#[cfg(feature = "trace")]
+use std::sync::Mutex;
+#[cfg(feature = "trace")]
+use std::time::Instant;
+
+/// Accumulated timing for one span name: how many times it was entered
+/// and the total wall-clock nanoseconds spent inside.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Number of completed span activations.
+    pub count: u64,
+    /// Total nanoseconds across all activations.
+    pub total_ns: u64,
+}
+
+impl SpanStats {
+    /// Mean nanoseconds per activation (0 when never entered).
+    pub fn mean_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.total_ns / self.count
+        }
+    }
+}
+
+#[cfg(feature = "trace")]
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    spans: BTreeMap<String, SpanStats>,
+}
+
+/// Thread-safe sink for counters, gauges and span timings.
+///
+/// See the [crate docs](crate) for the metric taxonomy and the
+/// compile-out behaviour of the `trace` feature.
+///
+/// ```
+/// use spfactor_trace::Recorder;
+/// let rec = Recorder::new();
+/// rec.incr("partition.clusters_visited", 1);
+/// rec.incr("partition.clusters_visited", 4);
+/// if rec.is_enabled() {
+///     assert_eq!(rec.counter("partition.clusters_visited"), 5);
+/// }
+/// ```
+#[derive(Default)]
+pub struct Recorder {
+    #[cfg(feature = "trace")]
+    inner: Mutex<Inner>,
+}
+
+impl Recorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `true` when the crate was built with the `trace` feature, i.e.
+    /// when recording actually stores data.
+    #[inline]
+    pub const fn is_enabled(&self) -> bool {
+        cfg!(feature = "trace")
+    }
+
+    #[cfg(feature = "trace")]
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A poisoned recorder only means a panic elsewhere; metrics
+        // gathered so far are still worth exporting.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Adds `by` to the named monotonic counter.
+    #[inline]
+    pub fn incr(&self, name: &str, by: u64) {
+        #[cfg(feature = "trace")]
+        {
+            *self.lock().counters.entry(name.to_string()).or_insert(0) += by;
+        }
+        #[cfg(not(feature = "trace"))]
+        let _ = (name, by);
+    }
+
+    /// Sets the named gauge to `value` (last write wins).
+    #[inline]
+    pub fn gauge(&self, name: &str, value: f64) {
+        #[cfg(feature = "trace")]
+        {
+            self.lock().gauges.insert(name.to_string(), value);
+        }
+        #[cfg(not(feature = "trace"))]
+        let _ = (name, value);
+    }
+
+    /// Opens a wall-clock span; the elapsed time is recorded under
+    /// `name` when the returned guard drops. Spans under the same name
+    /// accumulate ([`SpanStats`]), and spans may nest freely.
+    ///
+    /// ```
+    /// use spfactor_trace::Recorder;
+    /// let rec = Recorder::new();
+    /// {
+    ///     let _outer = rec.span("phase.partition");
+    ///     let _inner = rec.span("partition.deps");
+    /// } // both recorded here, inner first
+    /// if rec.is_enabled() {
+    ///     assert_eq!(rec.span_stats("phase.partition").unwrap().count, 1);
+    ///     assert_eq!(rec.span_stats("partition.deps").unwrap().count, 1);
+    /// }
+    /// ```
+    #[inline]
+    pub fn span(&self, name: &str) -> Span<'_> {
+        #[cfg(feature = "trace")]
+        {
+            Span {
+                recorder: self,
+                name: name.to_string(),
+                start: Instant::now(),
+            }
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            let _ = name;
+            Span {
+                _recorder: std::marker::PhantomData,
+            }
+        }
+    }
+
+    /// Runs `f` inside a span named `name` and returns its result.
+    #[inline]
+    pub fn time<T>(&self, name: &str, f: impl FnOnce() -> T) -> T {
+        let _span = self.span(name);
+        f()
+    }
+
+    /// Directly records one span activation of `elapsed_ns` nanoseconds.
+    /// Useful when a duration was measured elsewhere (e.g. per-thread
+    /// busy time summed locally and merged after a join).
+    #[inline]
+    pub fn record_span_ns(&self, name: &str, elapsed_ns: u64) {
+        #[cfg(feature = "trace")]
+        {
+            let mut inner = self.lock();
+            let stats = inner.spans.entry(name.to_string()).or_default();
+            stats.count += 1;
+            stats.total_ns += elapsed_ns;
+        }
+        #[cfg(not(feature = "trace"))]
+        let _ = (name, elapsed_ns);
+    }
+
+    /// Current value of a counter (0 if never incremented or tracing is
+    /// disabled).
+    pub fn counter(&self, name: &str) -> u64 {
+        #[cfg(feature = "trace")]
+        {
+            self.lock().counters.get(name).copied().unwrap_or(0)
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            let _ = name;
+            0
+        }
+    }
+
+    /// Current value of a gauge (`None` if never set or tracing is
+    /// disabled).
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        #[cfg(feature = "trace")]
+        {
+            self.lock().gauges.get(name).copied()
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            let _ = name;
+            None
+        }
+    }
+
+    /// Accumulated stats for a span name (`None` if never entered or
+    /// tracing is disabled).
+    pub fn span_stats(&self, name: &str) -> Option<SpanStats> {
+        #[cfg(feature = "trace")]
+        {
+            self.lock().spans.get(name).copied()
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            let _ = name;
+            None
+        }
+    }
+
+    /// Names of all recorded counters, sorted.
+    pub fn counter_names(&self) -> Vec<String> {
+        #[cfg(feature = "trace")]
+        {
+            self.lock().counters.keys().cloned().collect()
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            Vec::new()
+        }
+    }
+
+    /// Names of all recorded gauges, sorted.
+    pub fn gauge_names(&self) -> Vec<String> {
+        #[cfg(feature = "trace")]
+        {
+            self.lock().gauges.keys().cloned().collect()
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            Vec::new()
+        }
+    }
+
+    /// Names of all recorded spans, sorted.
+    pub fn span_names(&self) -> Vec<String> {
+        #[cfg(feature = "trace")]
+        {
+            self.lock().spans.keys().cloned().collect()
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            Vec::new()
+        }
+    }
+
+    /// Serializes everything recorded as one JSON document:
+    ///
+    /// ```json
+    /// {
+    ///   "counters": {"name": 7, ...},
+    ///   "gauges": {"name": 1.5, ...},
+    ///   "spans": {"name": {"count": 2, "total_ns": 1200, "mean_ns": 600}, ...}
+    /// }
+    /// ```
+    ///
+    /// Keys appear in sorted order so output is deterministic.
+    /// Non-finite gauge values serialize as `null`. With the `trace`
+    /// feature off the same three top-level keys are emitted, empty.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        #[cfg(feature = "trace")]
+        let inner = self.lock();
+        #[cfg(feature = "trace")]
+        {
+            for (i, (k, v)) in inner.counters.iter().enumerate() {
+                let sep = if i == 0 { "" } else { "," };
+                let _ = write!(out, "{sep}\n    \"{}\": {v}", escape_json(k));
+            }
+            if !inner.counters.is_empty() {
+                out.push_str("\n  ");
+            }
+        }
+        out.push_str("},\n  \"gauges\": {");
+        #[cfg(feature = "trace")]
+        {
+            for (i, (k, v)) in inner.gauges.iter().enumerate() {
+                let sep = if i == 0 { "" } else { "," };
+                let _ = write!(out, "{sep}\n    \"{}\": {}", escape_json(k), json_f64(*v));
+            }
+            if !inner.gauges.is_empty() {
+                out.push_str("\n  ");
+            }
+        }
+        out.push_str("},\n  \"spans\": {");
+        #[cfg(feature = "trace")]
+        {
+            for (i, (k, s)) in inner.spans.iter().enumerate() {
+                let sep = if i == 0 { "" } else { "," };
+                let _ = write!(
+                    out,
+                    "{sep}\n    \"{}\": {{\"count\": {}, \"total_ns\": {}, \"mean_ns\": {}}}",
+                    escape_json(k),
+                    s.count,
+                    s.total_ns,
+                    s.mean_ns()
+                );
+            }
+            if !inner.spans.is_empty() {
+                out.push_str("\n  ");
+            }
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// Renders everything recorded as an aligned human-readable table,
+    /// one section per metric kind. Empty sections are omitted; a fully
+    /// empty recorder renders as `(no metrics recorded)`.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        #[cfg(feature = "trace")]
+        {
+            let inner = self.lock();
+            let width = inner
+                .counters
+                .keys()
+                .chain(inner.gauges.keys())
+                .chain(inner.spans.keys())
+                .map(|k| k.len())
+                .max()
+                .unwrap_or(0);
+            if !inner.spans.is_empty() {
+                out.push_str("spans (name, count, total, mean):\n");
+                for (k, s) in &inner.spans {
+                    let _ = writeln!(
+                        out,
+                        "  {k:<width$}  {:>8}  {:>12}  {:>12}",
+                        s.count,
+                        fmt_ns(s.total_ns),
+                        fmt_ns(s.mean_ns())
+                    );
+                }
+            }
+            if !inner.counters.is_empty() {
+                out.push_str("counters:\n");
+                for (k, v) in &inner.counters {
+                    let _ = writeln!(out, "  {k:<width$}  {v:>12}");
+                }
+            }
+            if !inner.gauges.is_empty() {
+                out.push_str("gauges:\n");
+                for (k, v) in &inner.gauges {
+                    let _ = writeln!(out, "  {k:<width$}  {v:>12}");
+                }
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("enabled", &self.is_enabled())
+            .field("counters", &self.counter_names().len())
+            .field("gauges", &self.gauge_names().len())
+            .field("spans", &self.span_names().len())
+            .finish()
+    }
+}
+
+/// RAII guard returned by [`Recorder::span`]; records the elapsed
+/// wall-clock time when dropped.
+#[must_use = "a span records time only when it is eventually dropped"]
+pub struct Span<'a> {
+    #[cfg(feature = "trace")]
+    recorder: &'a Recorder,
+    #[cfg(feature = "trace")]
+    name: String,
+    #[cfg(feature = "trace")]
+    start: Instant,
+    #[cfg(not(feature = "trace"))]
+    _recorder: std::marker::PhantomData<&'a Recorder>,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        #[cfg(feature = "trace")]
+        {
+            let elapsed = self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            self.recorder.record_span_ns(&self.name, elapsed);
+        }
+    }
+}
+
+/// Escapes a string for use inside a JSON string literal.
+#[cfg_attr(not(feature = "trace"), allow(dead_code))]
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON value (non-finite becomes `null`).
+#[cfg_attr(not(feature = "trace"), allow(dead_code))]
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Formats nanoseconds with a readable unit for table output.
+#[cfg_attr(not(feature = "trace"), allow(dead_code))]
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_mode_is_silent_but_shaped() {
+        // Runs in both modes; asserts only shape invariants.
+        let rec = Recorder::new();
+        rec.incr("a", 1);
+        rec.gauge("b", 2.0);
+        rec.time("c", || ());
+        let json = rec.to_json();
+        for key in ["\"counters\"", "\"gauges\"", "\"spans\""] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(!rec.to_table().is_empty());
+    }
+
+    #[cfg(feature = "trace")]
+    mod traced {
+        use super::super::*;
+
+        #[test]
+        fn counters_accumulate_and_read_back() {
+            let rec = Recorder::new();
+            rec.incr("x", 1);
+            rec.incr("x", 41);
+            rec.incr("y", 5);
+            assert_eq!(rec.counter("x"), 42);
+            assert_eq!(rec.counter("y"), 5);
+            assert_eq!(rec.counter("missing"), 0);
+            assert_eq!(rec.counter_names(), vec!["x".to_string(), "y".to_string()]);
+        }
+
+        #[test]
+        fn concurrent_increments_are_lossless() {
+            let rec = Recorder::new();
+            std::thread::scope(|s| {
+                for _ in 0..8 {
+                    s.spawn(|| {
+                        for _ in 0..1000 {
+                            rec.incr("shared", 1);
+                        }
+                    });
+                }
+            });
+            assert_eq!(rec.counter("shared"), 8000);
+        }
+
+        #[test]
+        fn nested_spans_record_independently() {
+            let rec = Recorder::new();
+            {
+                let _outer = rec.span("outer");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                {
+                    let _inner = rec.span("inner");
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                let _inner_again = rec.span("inner");
+            }
+            let outer = rec.span_stats("outer").unwrap();
+            let inner = rec.span_stats("inner").unwrap();
+            assert_eq!(outer.count, 1);
+            assert_eq!(inner.count, 2);
+            // The outer span encloses the first inner one.
+            assert!(outer.total_ns >= inner.total_ns / 2);
+            assert!(inner.mean_ns() <= inner.total_ns);
+        }
+
+        #[test]
+        fn gauges_last_write_wins() {
+            let rec = Recorder::new();
+            rec.gauge("g", 1.5);
+            rec.gauge("g", 2.5);
+            assert_eq!(rec.gauge_value("g"), Some(2.5));
+            assert_eq!(rec.gauge_value("missing"), None);
+        }
+
+        #[test]
+        fn time_returns_closure_result() {
+            let rec = Recorder::new();
+            let v = rec.time("t", || 7 * 6);
+            assert_eq!(v, 42);
+            assert_eq!(rec.span_stats("t").unwrap().count, 1);
+        }
+
+        #[test]
+        fn json_round_trip_shape() {
+            let rec = Recorder::new();
+            rec.incr("c.one", 3);
+            rec.gauge("g.pi", 3.25);
+            rec.gauge("g.bad", f64::NAN);
+            rec.gauge("quote\"key", 1.0);
+            rec.record_span_ns("s.phase", 1500);
+            rec.record_span_ns("s.phase", 500);
+            let json = rec.to_json();
+            assert!(json.contains("\"c.one\": 3"), "{json}");
+            assert!(json.contains("\"g.pi\": 3.25"), "{json}");
+            assert!(json.contains("\"g.bad\": null"), "{json}");
+            assert!(json.contains("\\\"key"), "{json}");
+            assert!(
+                json.contains("\"s.phase\": {\"count\": 2, \"total_ns\": 2000, \"mean_ns\": 1000}"),
+                "{json}"
+            );
+            // Balanced braces => structurally plausible JSON.
+            let opens = json.matches('{').count();
+            let closes = json.matches('}').count();
+            assert_eq!(opens, closes);
+        }
+
+        #[test]
+        fn table_lists_all_sections() {
+            let rec = Recorder::new();
+            rec.incr("count.me", 2);
+            rec.gauge("gauge.me", 0.5);
+            rec.record_span_ns("span.me", 2_500_000);
+            let table = rec.to_table();
+            assert!(table.contains("count.me"));
+            assert!(table.contains("gauge.me"));
+            assert!(table.contains("span.me"));
+            assert!(table.contains("2.500ms"));
+        }
+    }
+}

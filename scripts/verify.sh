@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Full verification for spfactor. Run from the repo root.
+#
+#   scripts/verify.sh
+#
+# Tier-1 (the gate every PR must keep green) plus the observability
+# checks: the trace feature must compile out cleanly and the rustdoc
+# surface must stay warning-free.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "==> trace feature off: cargo test --no-default-features"
+cargo test -q --workspace --no-default-features
+
+echo "==> rustdoc (deny warnings): cargo doc --no-deps"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+echo "==> metrics binary emits a JSON document"
+# Capture to a file first: truncating the pipe directly would SIGPIPE
+# the binary mid-print.
+metrics_json="$(mktemp)"
+cargo run --release -q -p spfactor-bench --bin metrics > "$metrics_json"
+head -c 200 "$metrics_json"
+echo
+rm -f "$metrics_json"
+echo "OK: all verification steps passed"

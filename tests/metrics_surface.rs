@@ -1,0 +1,177 @@
+//! Integration test for the documented metrics surface (docs/METRICS.md):
+//! a pipeline run with a recorder attached must emit the advertised
+//! spans, counters and gauges, and the gauge values must agree with the
+//! artifacts the pipeline returns.
+//!
+//! With `--no-default-features` the instrumentation compiles to no-ops;
+//! the shape-only assertions below still hold (same JSON skeleton, no
+//! entries).
+
+use spfactor::{Pipeline, Recorder};
+use std::sync::Arc;
+
+/// The paper's primary configuration: LAP30, grain 4, 16 processors.
+fn run_lap30_block() -> (spfactor::PipelineResult, Arc<Recorder>) {
+    let rec = Arc::new(Recorder::new());
+    let m = spfactor::matrix::gen::paper::lap30();
+    let result = Pipeline::new(m.pattern)
+        .grain(4)
+        .processors(16)
+        .with_recorder(rec.clone())
+        .run();
+    (result, rec)
+}
+
+#[test]
+fn json_document_is_always_shaped() {
+    let (_result, rec) = run_lap30_block();
+    let json = rec.to_json();
+    for key in ["\"counters\"", "\"gauges\"", "\"spans\""] {
+        assert!(json.contains(key), "missing {key} in:\n{json}");
+    }
+}
+
+#[test]
+fn result_carries_the_recorder() {
+    let (result, rec) = run_lap30_block();
+    let metrics = result.metrics().expect("recorder was attached");
+    assert_eq!(metrics.to_json(), rec.to_json());
+    // Without a recorder there are no metrics.
+    let bare = Pipeline::new(spfactor::matrix::gen::lap9(4, 4)).run();
+    assert!(bare.metrics().is_none());
+}
+
+#[cfg(feature = "trace")]
+mod enabled {
+    use super::*;
+    use spfactor::Scheme;
+
+    #[test]
+    fn gauges_agree_with_pipeline_artifacts() {
+        let (result, rec) = run_lap30_block();
+        assert_eq!(
+            rec.gauge_value("symbolic.fill_in"),
+            Some(result.factor.fill_in() as f64)
+        );
+        assert_eq!(
+            rec.gauge_value("simulate.traffic.total"),
+            Some(result.traffic.total as f64)
+        );
+        assert_eq!(
+            rec.gauge_value("simulate.work.total"),
+            Some(result.work.total as f64)
+        );
+        assert_eq!(
+            rec.gauge_value("partition.units"),
+            Some(result.partition.num_units() as f64)
+        );
+        assert_eq!(
+            rec.gauge_value("partition.deps.edges"),
+            Some(result.deps.num_edges() as f64)
+        );
+    }
+
+    #[test]
+    fn every_block_phase_emits_its_span() {
+        let (_result, rec) = run_lap30_block();
+        for span in [
+            "phase.order",
+            "phase.symbolic",
+            "phase.partition",
+            "phase.sched",
+            "phase.simulate",
+            "order.compute",
+            "symbolic.from_pattern",
+            "partition.identify_clusters",
+            "partition.split_units",
+            "partition.deps",
+            "sched.block_allocation",
+            "simulate.data_traffic",
+            "simulate.work_distribution",
+        ] {
+            let stats = rec.span_stats(span).unwrap_or_else(|| {
+                panic!("span {span} missing; recorded: {:?}", rec.span_names())
+            });
+            assert_eq!(stats.count, 1, "span {span} should fire exactly once");
+        }
+    }
+
+    #[test]
+    fn documented_counters_are_present() {
+        let (result, rec) = run_lap30_block();
+        for counter in [
+            "order.mmd.passes",
+            "order.mmd.eliminations",
+            "order.mmd.degree_updates",
+            "simulate.traffic.remote_fetches",
+            "simulate.traffic.cache_hits",
+            "simulate.traffic.local_accesses",
+        ] {
+            assert!(
+                rec.counter(counter) > 0,
+                "counter {counter} missing or zero; recorded: {:?}",
+                rec.counter_names()
+            );
+        }
+        // MMD eliminates every supervariable exactly once; there are at
+        // most n of them.
+        assert!(rec.counter("order.mmd.eliminations") <= result.factor.n() as u64);
+        // The ten dependency categories partition the update operations.
+        let per_category: u64 = (1..=10)
+            .map(|c| rec.counter(&format!("partition.deps.category.{c}")))
+            .sum();
+        assert!(per_category > 0, "no categorized dependencies recorded");
+        // The remote-fetch counter is the traffic total by definition.
+        assert_eq!(
+            rec.counter("simulate.traffic.remote_fetches"),
+            result.traffic.total as u64
+        );
+    }
+
+    #[test]
+    fn allocation_branch_counters_cover_every_unit() {
+        let (result, rec) = run_lap30_block();
+        let branches: u64 = [
+            "sched.alloc.independent_wrap",
+            "sched.alloc.dependent_pred",
+            "sched.alloc.dependent_pool",
+            "sched.alloc.triangle_pred",
+            "sched.alloc.triangle_pool",
+            "sched.alloc.rect_rr",
+        ]
+        .iter()
+        .map(|c| rec.counter(c))
+        .sum();
+        assert_eq!(branches, result.partition.num_units() as u64);
+    }
+
+    #[test]
+    fn wrap_scheme_records_its_own_branch() {
+        let rec = Arc::new(Recorder::new());
+        let result = Pipeline::new(spfactor::matrix::gen::lap9(10, 10))
+            .scheme(Scheme::Wrap)
+            .processors(8)
+            .with_recorder(rec.clone())
+            .run();
+        assert_eq!(
+            rec.counter("sched.alloc.wrap_columns"),
+            result.partition.num_units() as u64
+        );
+        assert!(rec.span_stats("sched.wrap_allocation").is_some());
+        assert!(rec.span_stats("partition.columns").is_some());
+    }
+}
+
+#[cfg(not(feature = "trace"))]
+mod disabled {
+    use super::*;
+
+    #[test]
+    fn disabled_instrumentation_records_nothing() {
+        let (_result, rec) = run_lap30_block();
+        assert!(!rec.is_enabled());
+        assert!(rec.counter_names().is_empty());
+        assert!(rec.gauge_names().is_empty());
+        assert!(rec.span_names().is_empty());
+    }
+}

@@ -1,0 +1,220 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Covers the subset of the criterion 0.5 API the workspace's benches
+//! use — [`Criterion::benchmark_group`], [`BenchmarkGroup::sample_size`],
+//! [`BenchmarkGroup::bench_function`] / [`bench_with_input`],
+//! [`BenchmarkId`], [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical machinery it runs each benchmark
+//! `sample_size` times and prints the mean, min and max wall-clock time
+//! per iteration. Good enough for relative comparisons in this repo; not
+//! a replacement for real criterion's outlier analysis.
+
+use std::fmt;
+use std::time::Instant;
+
+/// Identifier for one benchmark within a group (`function/parameter`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Combines a function name and a parameter label.
+    pub fn new<F: fmt::Display, P: fmt::Display>(function: F, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    samples: u64,
+    /// Mean/min/max nanoseconds per closure call, filled in by [`iter`].
+    ///
+    /// [`iter`]: Bencher::iter
+    results_ns: (f64, f64, f64),
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, running it a warmup pass plus `samples` measured
+    /// passes.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup + calibration: aim for samples that take >= ~1ms so the
+        // timer resolution does not dominate very fast routines.
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        let once = start.elapsed().as_nanos().max(1) as u64;
+        let iters = (1_000_000 / once).clamp(1, 1_000);
+        self.iters_per_sample = iters;
+
+        let (mut total, mut lo, mut hi) = (0f64, f64::INFINITY, 0f64);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let per_iter = start.elapsed().as_nanos() as f64 / iters as f64;
+            total += per_iter;
+            lo = lo.min(per_iter);
+            hi = hi.max(per_iter);
+        }
+        self.results_ns = (total / self.samples as f64, lo, hi);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: u64,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many measured samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1) as u64;
+        self
+    }
+
+    /// Runs a benchmark with an explicit input value.
+    pub fn bench_with_input<I, ID: fmt::Display, F>(
+        &mut self,
+        id: ID,
+        input: &I,
+        f: F,
+    ) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: self.samples,
+            results_ns: (0.0, 0.0, 0.0),
+            iters_per_sample: 0,
+        };
+        f(&mut b, input);
+        self.report(&id.to_string(), &b);
+        self
+    }
+
+    /// Runs a benchmark with no input parameter.
+    pub fn bench_function<ID: fmt::Display, F>(&mut self, id: ID, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.samples,
+            results_ns: (0.0, 0.0, 0.0),
+            iters_per_sample: 0,
+        };
+        f(&mut b);
+        self.report(&id.to_string(), &b);
+        self
+    }
+
+    fn report(&self, id: &str, b: &Bencher) {
+        let (mean, lo, hi) = b.results_ns;
+        println!(
+            "{}/{:<40} mean {:>12}  min {:>12}  max {:>12}  ({} samples x {} iters)",
+            self.name,
+            id,
+            fmt_ns(mean),
+            fmt_ns(lo),
+            fmt_ns(hi),
+            self.samples,
+            b.iters_per_sample,
+        );
+    }
+
+    /// Ends the group (prints a blank separator line).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named [`BenchmarkGroup`].
+    pub fn benchmark_group<N: fmt::Display>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            samples: 10,
+            _criterion: self,
+        }
+    }
+}
+
+/// Bundles benchmark functions under one name, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups, as in criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        let input = vec![1u64, 2, 3, 4];
+        group.bench_with_input(BenchmarkId::new("sum", "small"), &input, |b, v| {
+            b.iter(|| v.iter().sum::<u64>())
+        });
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+
+    fn bench_a(c: &mut Criterion) {
+        c.benchmark_group("a")
+            .sample_size(2)
+            .bench_function("x", |b| b.iter(|| ()));
+    }
+
+    criterion_group!(benches, bench_a);
+
+    #[test]
+    fn macros_expand_and_run() {
+        benches();
+    }
+}

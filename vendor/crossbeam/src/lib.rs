@@ -1,0 +1,207 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Implements the two pieces this workspace uses — [`scope`] (scoped
+//! threads, here delegating to `std::thread::scope`) and
+//! [`channel::unbounded`] (an MPMC channel built on `Mutex` + `Condvar`)
+//! — with the same call-site API as crossbeam 0.8. Throughput is lower
+//! than real crossbeam's lock-free channels, which is irrelevant for the
+//! correctness-oriented parallel executors built on top.
+
+use std::any::Any;
+
+/// Result of a [`scope`] call: `Err` carries the payload of the first
+/// panicking worker, as with crossbeam.
+pub type ScopeResult<R> = Result<R, Box<dyn Any + Send + 'static>>;
+
+/// Scope handle passed to the [`scope`] closure; spawn worker threads
+/// through it.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped worker. The closure receives a placeholder unit
+    /// argument where crossbeam passes a nested `&Scope` (no caller in
+    /// this workspace uses it).
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(()) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        self.inner.spawn(move || f(()))
+    }
+}
+
+/// Runs `f` with a [`Scope`] whose spawned threads are all joined before
+/// `scope` returns. Worker panics surface as `Err`, matching crossbeam.
+pub fn scope<'env, F, R>(f: F) -> ScopeResult<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+/// MPMC channels, mirroring `crossbeam::channel`.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+    }
+
+    /// Sending half; cloning adds another producer.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half; cloning adds another consumer.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    /// (Never produced here: senders do not track receiver liveness, as
+    /// no caller in this workspace relies on it.)
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] once the channel is empty and
+    /// every sender has been dropped.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues a message and wakes one blocked receiver.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.shared
+                .queue
+                .lock()
+                .expect("channel poisoned")
+                .push_back(value);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.senders.fetch_add(1, Ordering::Relaxed);
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last sender gone: wake everyone so they observe EOF.
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives, or errors once the channel is
+        /// empty and all senders are dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut queue = self.shared.queue.lock().expect("channel poisoned");
+            loop {
+                if let Some(v) = queue.pop_front() {
+                    return Ok(v);
+                }
+                if self.shared.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvError);
+                }
+                queue = self
+                    .shared
+                    .ready
+                    .wait(queue)
+                    .expect("channel poisoned");
+            }
+        }
+
+        /// Non-blocking receive: `None` when the queue is currently empty.
+        pub fn try_recv(&self) -> Option<T> {
+            self.shared
+                .queue
+                .lock()
+                .expect("channel poisoned")
+                .pop_front()
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn channel_delivers_across_scoped_threads() {
+        let (tx, rx) = channel::unbounded::<usize>();
+        let total: usize = super::scope(|s| {
+            for k in 0..4 {
+                let tx = tx.clone();
+                s.spawn(move |_| {
+                    for i in 0..100 {
+                        tx.send(k * 100 + i).unwrap();
+                    }
+                });
+            }
+            drop(tx);
+            let mut sum = 0usize;
+            while let Ok(v) = rx.recv() {
+                sum += v;
+            }
+            sum
+        })
+        .unwrap();
+        assert_eq!(total, (0..400).sum());
+    }
+
+    #[test]
+    fn recv_errors_after_all_senders_drop() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7));
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn worker_panic_is_reported() {
+        let r = super::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}
