@@ -1,0 +1,59 @@
+//! Message-passing runtime benchmark: executes the schedule on the
+//! virtual machine for every paper matrix at several processor counts
+//! and reports the observed communication, the modeled parallel-time
+//! estimate, and the wall time of the (threaded) execution itself.
+
+use spfactor::{ExecutionBackend, NetworkModel, Pipeline, Scheme};
+use std::time::Instant;
+
+fn main() {
+    let model = NetworkModel::default();
+    println!("Message-passing execution (grain 25 for block mapping)");
+    println!(
+        "{:>9} {:>5} {:>3} | {:>9} {:>8} {:>10} {:>9} | {:>9} {:>9}",
+        "matrix", "map", "P", "traffic", "msgs", "bytes", "idle ms", "est time", "wall ms"
+    );
+    for m in spfactor::matrix::gen::paper::all() {
+        for scheme in [Scheme::Block, Scheme::Wrap] {
+            for nprocs in [4usize, 16] {
+                let mut pipe = Pipeline::new(m.pattern.clone())
+                    .scheme(scheme)
+                    .processors(nprocs)
+                    .backend(ExecutionBackend::MessagePassing(model));
+                if scheme == Scheme::Block {
+                    pipe = pipe.grain(25);
+                }
+                let wall = Instant::now();
+                let r = pipe.run();
+                let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+                let exec = r.execution.as_ref().expect("backend ran");
+                let idle_ms: f64 =
+                    exec.per_proc.iter().map(|s| s.idle_ns).sum::<u64>() as f64 / 1e6;
+                println!(
+                    "{:>9} {:>5} {:>3} | {:>9} {:>8} {:>10} {:>9.1} | {:>8.3}s {:>9.1}",
+                    m.name,
+                    match scheme {
+                        Scheme::Block => "block",
+                        Scheme::Wrap => "wrap",
+                    },
+                    nprocs,
+                    exec.traffic_report().total,
+                    exec.msgs_total(),
+                    exec.bytes_total(),
+                    idle_ms,
+                    exec.estimated_time,
+                    wall_ms,
+                );
+                assert_eq!(
+                    exec.traffic_report(),
+                    r.traffic,
+                    "observed traffic diverged from the analytic prediction"
+                );
+            }
+        }
+    }
+    println!();
+    println!("\"est time\" is the NetworkModel estimate (max over processors of");
+    println!("compute + message costs); \"wall ms\" is the host wall time of the");
+    println!("whole pipeline including the threaded virtual execution.");
+}

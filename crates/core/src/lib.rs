@@ -23,7 +23,10 @@
 //! * [`simulate`] — data traffic, load imbalance, hot-spots, timed
 //!   simulation;
 //! * [`numeric`] — real Cholesky factorization, triangular solves, and a
-//!   parallel DAG executor.
+//!   parallel DAG executor;
+//! * [`mp`] — a virtual message-passing machine that *executes* the
+//!   schedule (threads + mailboxes, no shared values) and cross-validates
+//!   the analytic simulator.
 //!
 //! # Quickstart
 //!
@@ -51,6 +54,7 @@
 
 pub use spfactor_interval as interval;
 pub use spfactor_matrix as matrix;
+pub use spfactor_mp as mp;
 pub use spfactor_numeric as numeric;
 pub use spfactor_order as order;
 pub use spfactor_partition as partition;
@@ -64,6 +68,7 @@ pub use spfactor_trace::Recorder;
 use std::sync::Arc;
 
 pub use spfactor_matrix::{Permutation, SymmetricPattern};
+pub use spfactor_mp::{MpReport, NetworkModel};
 pub use spfactor_order::Ordering;
 pub use spfactor_partition::{DepGraph, Partition, PartitionParams};
 pub use spfactor_sched::Assignment;
@@ -79,6 +84,29 @@ pub enum Scheme {
     Wrap,
 }
 
+/// How (and whether) the pipeline *executes* the schedule after the
+/// analytic simulation. See the README's "Choosing the execution
+/// backend" section for guidance.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ExecutionBackend {
+    /// Analytic predictions only (the default): the pipeline stops at
+    /// [`simulate::data_traffic`] / [`simulate::work_distribution`] and
+    /// [`PipelineResult::execution`] is `None`.
+    Analytic,
+    /// Additionally run the schedule on the [`mp`] virtual
+    /// distributed-memory machine — one thread per processor exchanging
+    /// explicit messages — on SPD values synthesized deterministically
+    /// from the permuted pattern. Yields the executed factor, observed
+    /// traffic/work (which cross-validate the analytic reports), message
+    /// statistics, and a parallel-time estimate under the given
+    /// [`NetworkModel`].
+    MessagePassing(NetworkModel),
+}
+
+/// Seed for the SPD values the message-passing backend synthesizes from
+/// the pipeline's (pattern-only) input.
+const EXECUTION_VALUES_SEED: u64 = 42;
+
 /// End-to-end driver: ordering → symbolic factorization → partitioning →
 /// scheduling → simulation, with the paper's defaults.
 #[derive(Clone, Debug)]
@@ -88,6 +116,7 @@ pub struct Pipeline {
     params: PartitionParams,
     scheme: Scheme,
     nprocs: usize,
+    execution: ExecutionBackend,
     recorder: Option<Arc<Recorder>>,
 }
 
@@ -102,6 +131,7 @@ impl Pipeline {
             params: PartitionParams::default(),
             scheme: Scheme::Block,
             nprocs: 4,
+            execution: ExecutionBackend::Analytic,
             recorder: None,
         }
     }
@@ -169,6 +199,25 @@ impl Pipeline {
     pub fn processors(mut self, n: usize) -> Self {
         assert!(n > 0, "need at least one processor");
         self.nprocs = n;
+        self
+    }
+
+    /// Selects the execution backend (default:
+    /// [`ExecutionBackend::Analytic`]).
+    ///
+    /// ```
+    /// use spfactor::{ExecutionBackend, NetworkModel, Pipeline};
+    ///
+    /// let r = Pipeline::new(spfactor::matrix::gen::lap9(6, 6))
+    ///     .processors(4)
+    ///     .backend(ExecutionBackend::MessagePassing(NetworkModel::default()))
+    ///     .run();
+    /// let exec = r.execution.as_ref().unwrap();
+    /// // The runtime's observed traffic is the analytic prediction.
+    /// assert_eq!(exec.traffic_report(), r.traffic);
+    /// ```
+    pub fn backend(mut self, b: ExecutionBackend) -> Self {
+        self.execution = b;
         self
     }
 
@@ -244,6 +293,22 @@ impl Pipeline {
             }
         };
 
+        let execution = match self.execution {
+            ExecutionBackend::Analytic => None,
+            ExecutionBackend::MessagePassing(model) => {
+                let _phase = rec.map(|r| r.span("phase.execute"));
+                let a = matrix::gen::spd_from_pattern(&permuted, EXECUTION_VALUES_SEED);
+                let report = match rec {
+                    Some(r) => {
+                        mp::execute_traced(&a, &factor, &partition, &deps, &assignment, &model, r)
+                    }
+                    None => mp::execute(&a, &factor, &partition, &deps, &assignment, &model),
+                }
+                .expect("synthesized SPD values must factor");
+                Some(report)
+            }
+        };
+
         PipelineResult {
             permutation: perm,
             factor,
@@ -252,6 +317,7 @@ impl Pipeline {
             assignment,
             traffic,
             work,
+            execution,
             recorder,
         }
     }
@@ -274,6 +340,10 @@ pub struct PipelineResult {
     pub traffic: TrafficReport,
     /// Work-distribution metrics (paper's Δ columns).
     pub work: WorkReport,
+    /// The message-passing execution report, when the pipeline ran with
+    /// [`ExecutionBackend::MessagePassing`]; `None` under
+    /// [`ExecutionBackend::Analytic`].
+    pub execution: Option<MpReport>,
     /// The recorder attached via [`Pipeline::with_recorder`], if any.
     recorder: Option<Arc<Recorder>>,
 }
@@ -313,6 +383,26 @@ mod tests {
         let b = Pipeline::new(p).processors(4).run();
         assert_eq!(a.traffic, b.traffic);
         assert_eq!(a.work, b.work);
+    }
+
+    #[test]
+    fn message_passing_backend_cross_validates() {
+        let p = gen::lap9(8, 8);
+        let r = Pipeline::new(p)
+            .processors(4)
+            .backend(ExecutionBackend::MessagePassing(NetworkModel::default()))
+            .run();
+        let exec = r.execution.as_ref().expect("backend ran");
+        assert_eq!(exec.traffic_report(), r.traffic);
+        assert_eq!(exec.work_report(), r.work);
+        assert!(exec.estimated_time > 0.0);
+        assert_eq!(exec.factor.n(), r.factor.n());
+    }
+
+    #[test]
+    fn analytic_backend_skips_execution() {
+        let r = Pipeline::new(gen::lap9(5, 5)).run();
+        assert!(r.execution.is_none());
     }
 
     #[test]

@@ -319,7 +319,8 @@ pub fn write_hb_pattern<W: Write>(w: &mut W, coo: &Coo, title: &str) -> Result<(
 }
 
 /// Writes a [`Coo`] matrix with values as a Harwell-Boeing `RSA` file
-/// (real symmetric assembled; values in `(4E20.12)`).
+/// (real symmetric assembled; values in `(3E25.16)` — 17 significant
+/// digits, so a write → read round trip reproduces every `f64` exactly).
 pub fn write_hb<W: Write>(w: &mut W, coo: &Coo, title: &str) -> Result<(), MatrixError> {
     let n = coo.n();
     let csc = coo.to_csc();
@@ -340,11 +341,11 @@ pub fn write_hb<W: Write>(w: &mut W, coo: &Coo, title: &str) -> Result<(), Matri
     let width = (maxval as f64).log10().floor() as usize + 2;
     let per_line = (80 / width).max(1);
     let ifmt = format!("({per_line}I{width})");
-    let vfmt = "(4E20.12)";
+    let vfmt = "(3E25.16)";
     let card_count = |items: usize, per: usize| items.div_ceil(per);
     let ptrcrd = card_count(colptr.len(), per_line);
     let indcrd = card_count(rowind.len(), per_line);
-    let valcrd = card_count(values.len(), 4);
+    let valcrd = card_count(values.len(), 3);
     let totcrd = ptrcrd + indcrd + valcrd;
 
     writeln!(
@@ -373,10 +374,10 @@ pub fn write_hb<W: Write>(w: &mut W, coo: &Coo, title: &str) -> Result<(), Matri
     };
     write_ints(w, &colptr)?;
     write_ints(w, &rowind)?;
-    for chunk in values.chunks(4) {
-        let mut line = String::with_capacity(chunk.len() * 20);
+    for chunk in values.chunks(3) {
+        let mut line = String::with_capacity(chunk.len() * 25);
         for &v in chunk {
-            line.push_str(&format!("{v:>20.12E}"));
+            line.push_str(&format!("{v:>25.16E}"));
         }
         writeln!(w, "{line}")?;
     }
@@ -526,24 +527,41 @@ RSA                        3             3             5             0
     }
 
     #[test]
-    fn rsa_round_trip_preserves_many_values() {
+    fn rsa_round_trip_is_bit_exact() {
+        // Irrational and extreme-magnitude values survive the 17
+        // significant digits of (3E25.16) exactly.
         let mut coo = Coo::new(10);
         for j in 0..10usize {
-            coo.push(j, j, 1.0 + j as f64 * 0.37).unwrap();
+            coo.push(j, j, (1.0 + j as f64 * 0.37).sqrt() * 1e8).unwrap();
             if j + 3 < 10 {
-                coo.push(j + 3, j, -(j as f64) / 7.0).unwrap();
+                coo.push(j + 3, j, -(j as f64 + 0.1) / 7.0 * 1e-9).unwrap();
             }
         }
+        coo.push(9, 0, std::f64::consts::PI * 1e-300).unwrap();
         let mut buf = Vec::new();
         write_hb(&mut buf, &coo, "many values").unwrap();
         let back = read_hb(buf.as_slice()).unwrap().to_csc();
         let orig = coo.to_csc();
-        assert_eq!(back.n(), orig.n());
-        for j in 0..10 {
-            for (a, b) in back.col_values(j).iter().zip(orig.col_values(j)) {
-                assert!((a - b).abs() < 1e-11, "{a} vs {b}");
+        assert_eq!(back, orig);
+    }
+
+    #[test]
+    fn psa_round_trip_on_generated_pattern() {
+        // A realistic pattern: the generator's 5-point grid, written as
+        // PSA and read back identically (values become 1.0).
+        let p = crate::gen::grid5(6, 6);
+        let mut coo = Coo::new(p.n());
+        for j in 0..p.n() {
+            coo.push(j, j, 1.0).unwrap();
+            for &i in p.col(j) {
+                coo.push(i, j, 1.0).unwrap();
             }
         }
+        let mut buf = Vec::new();
+        write_hb_pattern(&mut buf, &coo, "grid5 6x6").unwrap();
+        let back = read_hb(buf.as_slice()).unwrap();
+        assert_eq!(back.to_pattern(), coo.to_pattern());
+        assert_eq!(back.to_csc(), coo.to_csc());
     }
 
     #[test]

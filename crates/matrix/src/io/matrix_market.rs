@@ -158,12 +158,27 @@ pub fn read_matrix_market_file<P: AsRef<Path>>(path: P) -> Result<Coo, MatrixErr
 }
 
 /// Writes a [`Coo`] matrix in `coordinate real symmetric` format.
+/// Values are printed with 18 significant digits, so a write → read
+/// round trip reproduces every `f64` exactly.
 pub fn write_matrix_market<W: Write>(w: &mut W, coo: &Coo) -> Result<(), MatrixError> {
     writeln!(w, "%%MatrixMarket matrix coordinate real symmetric")?;
     writeln!(w, "% written by spfactor")?;
     writeln!(w, "{} {} {}", coo.n(), coo.n(), coo.len())?;
     for (i, j, v) in coo.iter() {
         writeln!(w, "{} {} {:.17e}", i + 1, j + 1, v)?;
+    }
+    Ok(())
+}
+
+/// Writes only the structure of a [`Coo`] matrix in `coordinate pattern
+/// symmetric` format — the counterpart of the `pattern` branch of
+/// [`read_matrix_market`], which previously had no writer.
+pub fn write_matrix_market_pattern<W: Write>(w: &mut W, coo: &Coo) -> Result<(), MatrixError> {
+    writeln!(w, "%%MatrixMarket matrix coordinate pattern symmetric")?;
+    writeln!(w, "% written by spfactor")?;
+    writeln!(w, "{} {} {}", coo.n(), coo.n(), coo.len())?;
+    for (i, j, _) in coo.iter() {
+        writeln!(w, "{} {}", i + 1, j + 1)?;
     }
     Ok(())
 }
@@ -238,6 +253,42 @@ mod tests {
         let a = coo.to_csc();
         let b = back.to_csc();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn real_round_trip_is_bit_exact() {
+        // 18 significant digits reproduce irrational and tiny values
+        // exactly, not merely approximately.
+        let mut coo = Coo::new(3);
+        coo.push(0, 0, std::f64::consts::PI).unwrap();
+        coo.push(1, 1, 2.0f64.sqrt() * 1e-200).unwrap();
+        coo.push(2, 2, 1.0 / 3.0).unwrap();
+        coo.push(2, 0, -std::f64::consts::E * 1e150).unwrap();
+        let mut buf = Vec::new();
+        write_matrix_market(&mut buf, &coo).unwrap();
+        let back = read_matrix_market(buf.as_slice()).unwrap();
+        assert_eq!(back.to_csc(), coo.to_csc());
+    }
+
+    #[test]
+    fn pattern_write_read_round_trip() {
+        // The pattern writer is the counterpart of the pattern reader:
+        // structure survives, values come back as 1.0.
+        let p = crate::gen::grid5(5, 5);
+        let mut coo = Coo::new(p.n());
+        for j in 0..p.n() {
+            coo.push(j, j, 3.25).unwrap();
+            for &i in p.col(j) {
+                coo.push(i, j, -1.5).unwrap();
+            }
+        }
+        let mut buf = Vec::new();
+        write_matrix_market_pattern(&mut buf, &coo).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("%%MatrixMarket matrix coordinate pattern symmetric"));
+        let back = read_matrix_market(buf.as_slice()).unwrap();
+        assert_eq!(back.to_pattern(), coo.to_pattern());
+        assert!(back.iter().all(|(_, _, v)| v == 1.0));
     }
 
     #[test]

@@ -12,4 +12,6 @@ pub mod harwell_boeing;
 pub mod matrix_market;
 
 pub use harwell_boeing::{read_hb, read_hb_file, write_hb, write_hb_pattern};
-pub use matrix_market::{read_matrix_market, read_matrix_market_file, write_matrix_market};
+pub use matrix_market::{
+    read_matrix_market, read_matrix_market_file, write_matrix_market, write_matrix_market_pattern,
+};

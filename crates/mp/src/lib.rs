@@ -1,0 +1,324 @@
+//! Message-passing execution runtime for the paper's block schedule.
+//!
+//! The paper evaluates its partitioner with a *counted* simulation of a
+//! message-passing machine (§4): [`spfactor_simulate::data_traffic`]
+//! predicts communication and [`spfactor_simulate::work_distribution`]
+//! predicts load balance, but nothing executes the factorization under a
+//! message-passing discipline — the predictions are unfalsifiable. This
+//! crate closes that loop: [`execute`] runs the numeric Cholesky
+//! factorization on a **virtual distributed-memory machine** in which
+//!
+//! * every processor of the [`Assignment`]
+//!   is an OS thread with a typed mailbox (a channel of [`runtime`]
+//!   messages) and a private value store — there is **no shared value
+//!   memory**; every remote element moves through an explicit message;
+//! * each processor owns exactly the factor entries of its assigned unit
+//!   blocks, seeded with the corresponding entries of `A`;
+//! * units execute in the deterministic topological program of
+//!   [`spfactor_sched::processor_queues`]; before a unit runs, the
+//!   distinct remote source elements it needs are gathered with one
+//!   *block request* per owning processor (fan-out) and answered with a
+//!   *block reply* carrying the values, which are **cached locally** —
+//!   exactly the paper's traffic rule ("once a data element is fetched,
+//!   that element is stored locally and subsequent usage … does not add
+//!   to the data traffic");
+//! * completions fan out as `Done` notifications that drive the
+//!   dependency counters of the receiving processor's queue.
+//!
+//! Because the runtime performs each element update in the same
+//! per-target order as the sequential left-looking factorization, the
+//! computed factor is **bit-identical** to [`spfactor_numeric::cholesky`]
+//! — and because its cache discipline is the simulator's, the *observed*
+//! per-processor traffic equals [`spfactor_simulate::data_traffic`]'s
+//! prediction **exactly**
+//! (asserted element-for-element in `tests/mp_cross_validation.rs` and by
+//! property tests here). The two models validate each other: a missed
+//! dependency edge deadlocks or corrupts the runtime, a miscounted
+//! traffic rule breaks the equality.
+//!
+//! A pluggable [`NetworkModel`] (per-message latency, per-element
+//! transfer time, per-work-unit compute time) converts the observed
+//! message and work tallies into an estimated parallel time, like the
+//! paper ignoring dependency stalls.
+//!
+//! ```
+//! use spfactor_matrix::gen;
+//! use spfactor_order::{order, Ordering};
+//! use spfactor_partition::{dependencies, Partition, PartitionParams};
+//! use spfactor_sched::block_allocation;
+//! use spfactor_symbolic::SymbolicFactor;
+//!
+//! let p = gen::lap9(8, 8);
+//! let perm = order(&p, Ordering::paper_default());
+//! let a = gen::spd_from_pattern(&p.permute(&perm), 42);
+//! let f = SymbolicFactor::from_pattern(&a.pattern());
+//! let part = Partition::build(&f, &PartitionParams::with_grain(4));
+//! let deps = dependencies(&f, &part);
+//! let assign = block_allocation(&part, &deps, 4);
+//!
+//! let report = spfactor_mp::execute(
+//!     &a, &f, &part, &deps, &assign, &spfactor_mp::NetworkModel::default(),
+//! ).unwrap();
+//! // The executed factor is the sequential factor, bit for bit.
+//! assert_eq!(report.factor, spfactor_numeric::cholesky(&a, &f).unwrap());
+//! // Observed traffic is the analytic prediction, element for element.
+//! assert_eq!(
+//!     report.traffic_report(),
+//!     spfactor_simulate::data_traffic(&f, &part, &assign),
+//! );
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod runtime;
+
+pub use runtime::execute_with;
+
+use spfactor_matrix::SymmetricCsc;
+use spfactor_numeric::{NumericError, NumericFactor};
+use spfactor_partition::{DepGraph, Partition};
+use spfactor_sched::Assignment;
+use spfactor_simulate::{TrafficReport, WorkReport};
+use spfactor_symbolic::SymbolicFactor;
+use spfactor_trace::Recorder;
+
+/// Cost model of the virtual network and processors.
+///
+/// The estimate charges each processor for what it *observably* did:
+/// `latency` per message it originated, `per_element` per payload
+/// element it sent or received, and `flop_time` per unit of paper work
+/// it executed. The estimated parallel time is the maximum over
+/// processors — dependency stalls are ignored, matching the paper's "we
+/// … do not take into account data dependency delays" scoping (the
+/// event-driven [`spfactor_simulate::timed`] model covers those).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetworkModel {
+    /// Fixed cost per message, in seconds.
+    pub latency: f64,
+    /// Transfer cost per payload element (8-byte value), in seconds.
+    pub per_element: f64,
+    /// Compute cost per unit of paper work, in seconds.
+    pub flop_time: f64,
+}
+
+impl NetworkModel {
+    /// A model with explicit constants.
+    pub fn new(latency: f64, per_element: f64, flop_time: f64) -> Self {
+        NetworkModel {
+            latency,
+            per_element,
+            flop_time,
+        }
+    }
+
+    /// Free communication: only compute time counts (1 s per work unit),
+    /// isolating the load-balance component of the estimate.
+    pub fn free() -> Self {
+        NetworkModel::new(0.0, 0.0, 1.0)
+    }
+
+    /// Time processor `p` spends busy under this model, from its
+    /// observed statistics.
+    pub fn proc_time(&self, stats: &ProcStats) -> f64 {
+        self.flop_time * stats.work as f64
+            + self.latency * stats.msgs_sent as f64
+            + self.per_element * (stats.traffic + stats.elements_served) as f64
+    }
+}
+
+impl Default for NetworkModel {
+    /// Constants in the spirit of the paper's era of distributed-memory
+    /// machines: 100 µs message latency, 1 µs per transferred element,
+    /// 0.1 µs per work unit (communication ~1000× a flop).
+    fn default() -> Self {
+        NetworkModel::new(1e-4, 1e-6, 1e-7)
+    }
+}
+
+/// What one virtual processor observably did during an execution.
+///
+/// All fields except the two wall-clock ones are deterministic: they
+/// depend only on the schedule, never on thread interleaving.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProcStats {
+    /// Unit blocks executed.
+    pub units: usize,
+    /// Paper work units executed (2 per update pair, 1 per scaling).
+    pub work: usize,
+    /// Distinct remote elements fetched — the paper's data traffic.
+    pub traffic: usize,
+    /// Remote source accesses served from the local element cache.
+    pub cache_hits: usize,
+    /// Source accesses that were local to this processor.
+    pub local_accesses: usize,
+    /// Messages originated (requests + replies + notifications).
+    pub msgs_sent: usize,
+    /// Modeled payload bytes of those messages.
+    pub bytes_sent: usize,
+    /// Block-request messages sent while gathering remote elements.
+    pub requests_sent: usize,
+    /// Block-reply messages served to other processors.
+    pub replies_served: usize,
+    /// Payload elements carried by those replies.
+    pub elements_served: usize,
+    /// Wall-clock nanoseconds blocked on the mailbox (non-deterministic).
+    pub idle_ns: u64,
+    /// Wall-clock nanoseconds executing unit blocks (non-deterministic).
+    pub busy_ns: u64,
+}
+
+/// Result of a message-passing execution: the numeric factor plus the
+/// observed communication, work and message statistics.
+#[derive(Clone, Debug)]
+pub struct MpReport {
+    /// The computed Cholesky factor (bit-identical to the sequential
+    /// factorization).
+    pub factor: NumericFactor,
+    /// Number of virtual processors.
+    pub nprocs: usize,
+    /// Per-processor observations.
+    pub per_proc: Vec<ProcStats>,
+    /// `pair_matrix[src * nprocs + dst]` — distinct elements owned by
+    /// `src` fetched by `dst`, same layout as [`TrafficReport`].
+    pub pair_matrix: Vec<usize>,
+    /// The cost model the estimate was computed with.
+    pub network: NetworkModel,
+    /// Estimated parallel time under [`Self::network`], seconds.
+    pub estimated_time: f64,
+}
+
+impl MpReport {
+    /// The observed traffic, shaped as the analytic simulator's
+    /// [`TrafficReport`] so the two can be compared with `==`.
+    pub fn traffic_report(&self) -> TrafficReport {
+        let per_proc: Vec<usize> = self.per_proc.iter().map(|s| s.traffic).collect();
+        TrafficReport {
+            total: per_proc.iter().sum(),
+            per_proc,
+            pair_matrix: self.pair_matrix.clone(),
+            nprocs: self.nprocs,
+        }
+    }
+
+    /// The observed work distribution, shaped as the analytic
+    /// [`WorkReport`].
+    pub fn work_report(&self) -> WorkReport {
+        let per_proc: Vec<usize> = self.per_proc.iter().map(|s| s.work).collect();
+        WorkReport {
+            total: per_proc.iter().sum(),
+            per_proc,
+        }
+    }
+
+    /// Total messages sent across all processors.
+    pub fn msgs_total(&self) -> usize {
+        self.per_proc.iter().map(|s| s.msgs_sent).sum()
+    }
+
+    /// Total modeled payload bytes across all processors.
+    pub fn bytes_total(&self) -> usize {
+        self.per_proc.iter().map(|s| s.bytes_sent).sum()
+    }
+
+    /// Total cache hits across all processors.
+    pub fn cache_hits_total(&self) -> usize {
+        self.per_proc.iter().map(|s| s.cache_hits).sum()
+    }
+
+    /// Re-evaluates the parallel-time estimate under a different network
+    /// cost model (the model is pluggable after the fact: the estimate
+    /// is a pure function of the observed statistics).
+    pub fn estimate(&self, model: &NetworkModel) -> f64 {
+        self.per_proc
+            .iter()
+            .map(|s| model.proc_time(s))
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Executes the schedule on the virtual message-passing machine.
+///
+/// `a` must be symmetric positive definite with the structure the
+/// symbolic factor was computed from; `partition`, `deps` and
+/// `assignment` are the artifacts of the structural pipeline. Returns
+/// the factor and the observed statistics, or the first
+/// [`NumericError`] a virtual processor hit (lowest failing column).
+pub fn execute(
+    a: &SymmetricCsc,
+    symbolic: &SymbolicFactor,
+    partition: &Partition,
+    deps: &DepGraph,
+    assignment: &Assignment,
+    network: &NetworkModel,
+) -> Result<MpReport, NumericError> {
+    runtime::execute_with(a, symbolic, partition, deps, assignment, network)
+}
+
+/// [`execute`] with instrumentation: times the run under the span
+/// `mp.execute`, bumps the `mp.*` counters (`mp.msgs_sent`, `mp.bytes`,
+/// `mp.cache_hits`, `mp.remote_fetches`, `mp.local_accesses`,
+/// `mp.idle_ns`, `mp.busy_ns`, `mp.units_run`) and records the headline
+/// gauges `mp.traffic.total`, `mp.work.max`, `mp.estimated_time` plus
+/// per-processor gauges `mp.proc.<p>.traffic`, `mp.proc.<p>.work` and
+/// `mp.proc.<p>.msgs_sent` (see `docs/METRICS.md`).
+pub fn execute_traced(
+    a: &SymmetricCsc,
+    symbolic: &SymbolicFactor,
+    partition: &Partition,
+    deps: &DepGraph,
+    assignment: &Assignment,
+    network: &NetworkModel,
+    recorder: &Recorder,
+) -> Result<MpReport, NumericError> {
+    let report = recorder.time("mp.execute", || {
+        runtime::execute_with(a, symbolic, partition, deps, assignment, network)
+    })?;
+    let sum = |f: fn(&ProcStats) -> usize| report.per_proc.iter().map(f).sum::<usize>() as u64;
+    recorder.incr("mp.msgs_sent", sum(|s| s.msgs_sent));
+    recorder.incr("mp.bytes", sum(|s| s.bytes_sent));
+    recorder.incr("mp.cache_hits", sum(|s| s.cache_hits));
+    recorder.incr("mp.remote_fetches", sum(|s| s.traffic));
+    recorder.incr("mp.local_accesses", sum(|s| s.local_accesses));
+    recorder.incr("mp.units_run", sum(|s| s.units));
+    recorder.incr(
+        "mp.idle_ns",
+        report.per_proc.iter().map(|s| s.idle_ns).sum(),
+    );
+    recorder.incr(
+        "mp.busy_ns",
+        report.per_proc.iter().map(|s| s.busy_ns).sum(),
+    );
+    recorder.gauge("mp.traffic.total", sum(|s| s.traffic) as f64);
+    recorder.gauge(
+        "mp.work.max",
+        report.per_proc.iter().map(|s| s.work).max().unwrap_or(0) as f64,
+    );
+    recorder.gauge("mp.estimated_time", report.estimated_time);
+    for (p, s) in report.per_proc.iter().enumerate() {
+        recorder.gauge(&format!("mp.proc.{p}.traffic"), s.traffic as f64);
+        recorder.gauge(&format!("mp.proc.{p}.work"), s.work as f64);
+        recorder.gauge(&format!("mp.proc.{p}.msgs_sent"), s.msgs_sent as f64);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn network_model_proc_time_formula() {
+        let m = NetworkModel::new(10.0, 2.0, 1.0);
+        let s = ProcStats {
+            work: 5,
+            msgs_sent: 3,
+            traffic: 4,
+            elements_served: 6,
+            ..ProcStats::default()
+        };
+        // 1*5 + 10*3 + 2*(4+6) = 55.
+        assert_eq!(m.proc_time(&s), 55.0);
+        // Free model sees only work.
+        assert_eq!(NetworkModel::free().proc_time(&s), 5.0);
+    }
+}

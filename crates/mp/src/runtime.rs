@@ -1,0 +1,744 @@
+//! The virtual distributed-memory machine.
+//!
+//! One OS thread per processor of the [`Assignment`], each with a typed
+//! mailbox (an unbounded channel of [`Msg`]) and a **private** value
+//! store seeded with the entries of `A` it owns — no shared mutable
+//! memory anywhere; every remote value travels through a message.
+//!
+//! ## Protocol
+//!
+//! Each processor runs its [`spfactor_sched::processor_queues`] program
+//! strictly in order. Per unit block:
+//!
+//! 1. **wait** until all dependency predecessors are complete, counting
+//!    down on [`Msg::Done`] notifications (local predecessors count down
+//!    directly on completion);
+//! 2. **prefetch**: scan the unit's update and scaling operations in
+//!    execution order, classify every source access as local / cache hit
+//!    / new remote fetch, and send one [`Msg::Request`] per owning
+//!    processor batching all newly needed element ids (fan-out); block
+//!    until the matching [`Msg::Reply`]s arrive and install the values
+//!    in the local cache — elements are fetched **once** and reused from
+//!    the cache thereafter, the paper's traffic rule;
+//! 3. **execute** the unit exactly like
+//!    [`spfactor_numeric::cholesky_block_parallel`]: per owned column,
+//!    apply the update operations targeting it (ascending source-column
+//!    order), then take the diagonal square root and scale the owned
+//!    off-diagonals — so the factor is bit-identical to the sequential
+//!    one;
+//! 4. **notify**: count down local successors and send one [`Msg::Done`]
+//!    to every other processor owning a successor.
+//!
+//! While blocked in steps 1–2 a processor keeps serving incoming
+//! requests, so two processors can always satisfy each other's fetches.
+//! Execution of the per-processor programs cannot deadlock: queues are
+//! projections of one global topological order, hence the globally
+//! earliest unexecuted unit always sits at the front of its owner's
+//! queue with every predecessor complete and every requestable source
+//! final.
+//!
+//! Termination: after finishing its program (or failing a pivot) a
+//! processor broadcasts a terminal [`Msg::Finished`] / [`Msg::Abort`]
+//! and keeps draining its mailbox — still answering requests — until it
+//! has the terminal of every peer. Channels are FIFO per sender, so a
+//! peer's requests always precede its terminal and nobody exits while
+//! still owed a reply; an abort reaches every blocked wait loop because
+//! the waits dispatch all message kinds.
+//!
+//! ## Modeled message sizes
+//!
+//! The byte accounting charges 4 bytes per id or header word and 8 per
+//! value: a [`Msg::Done`] or terminal is 4 bytes, a request `4 + 4·k`
+//! for `k` ids, a reply `12·k` (id + value per element). These feed the
+//! `mp.bytes` counter; the [`NetworkModel`] charges
+//! per *element* and per *message*, so the estimate is independent of
+//! this convention.
+
+use crate::{MpReport, NetworkModel, ProcStats};
+use crossbeam::channel::{self, Receiver, Sender};
+use spfactor_matrix::SymmetricCsc;
+use spfactor_numeric::{NumericError, NumericFactor};
+use spfactor_partition::{DepGraph, Partition};
+use spfactor_sched::{processor_queues, Assignment};
+use spfactor_symbolic::{ops, SymbolicFactor};
+use std::time::Instant;
+
+/// Modeled wire size of a [`Msg::Done`] notification (one unit id).
+pub const DONE_BYTES: usize = 4;
+/// Modeled wire size of a terminal ([`Msg::Finished`] / [`Msg::Abort`]).
+pub const TERMINAL_BYTES: usize = 4;
+
+/// Modeled wire size of a block request carrying `k` element ids.
+pub fn request_bytes(k: usize) -> usize {
+    4 + 4 * k
+}
+
+/// Modeled wire size of a block reply carrying `k` (id, value) pairs.
+pub fn reply_bytes(k: usize) -> usize {
+    12 * k
+}
+
+/// The typed mailbox protocol of the virtual machine.
+#[derive(Clone, Debug)]
+pub enum Msg {
+    /// Fan-out completion notification: `unit` has executed; the
+    /// receiver counts down its successors it owns.
+    Done {
+        /// The completed unit block.
+        unit: u32,
+    },
+    /// Block request: `from` asks for the final values of `ids`, all
+    /// owned by the receiver.
+    Request {
+        /// Requesting processor (where the reply goes).
+        from: u32,
+        /// Entry ids to fetch, each owned by the receiving processor.
+        ids: Box<[u32]>,
+    },
+    /// Block reply: the values of `ids`, parallel arrays. The requester
+    /// installs them in its local element cache.
+    Reply {
+        /// Entry ids, echoed from the request.
+        ids: Box<[u32]>,
+        /// The corresponding final factor values.
+        vals: Box<[f64]>,
+    },
+    /// Terminal: `from` has executed its whole program.
+    Finished {
+        /// Sending processor.
+        from: u32,
+    },
+    /// Terminal: `from` hit a numeric error and will execute nothing
+    /// further; receivers abandon their programs too.
+    Abort {
+        /// Sending processor.
+        from: u32,
+    },
+}
+
+/// One update operation with entry-id positions (diagonal `j` at id `j`,
+/// strict entries at `n + compressed position`); `s1 == s2` for diagonal
+/// targets.
+#[derive(Clone, Copy)]
+struct OpRec {
+    tgt: u32,
+    s1: u32,
+    s2: u32,
+}
+
+/// What one virtual processor hands back when its thread ends.
+struct Outcome {
+    stats: ProcStats,
+    /// Distinct elements fetched per owning processor (a pair-matrix
+    /// column).
+    fetched_from: Vec<usize>,
+    vals: Vec<f64>,
+    error: Option<NumericError>,
+}
+
+struct Worker<'a> {
+    me: usize,
+    nprocs: usize,
+    n: usize,
+    rx: Receiver<Msg>,
+    txs: &'a [Sender<Msg>],
+    queue: &'a [u32],
+    deps: &'a DepGraph,
+    assignment: &'a Assignment,
+    unit_ops: &'a [Vec<OpRec>],
+    unit_entries: &'a [Vec<u32>],
+    col_of: &'a [u32],
+    proc_of_entry: &'a [u32],
+    unit_of_entry: &'a [u32],
+    /// Private value store: owned entries seeded with `A`, remote
+    /// entries installed by replies (zero until then).
+    vals: Vec<f64>,
+    /// Remote entries present locally — the paper's element cache.
+    cached: Vec<bool>,
+    /// Unresolved predecessors per unit (only own units consulted).
+    remaining: Vec<usize>,
+    /// Own units that have executed (requests must only touch these).
+    done_units: Vec<bool>,
+    /// Per-owner batch of newly needed ids, built during prefetch.
+    want: Vec<Vec<u32>>,
+    /// Reply elements still in flight.
+    pending: usize,
+    /// Scratch: which processors to notify after a completion.
+    notify: Vec<bool>,
+    terminals: usize,
+    peer_abort: bool,
+    stats: ProcStats,
+    fetched_from: Vec<usize>,
+}
+
+impl Worker<'_> {
+    fn send(&mut self, to: usize, msg: Msg, bytes: usize) {
+        self.stats.msgs_sent += 1;
+        self.stats.bytes_sent += bytes;
+        self.txs[to].send(msg).expect("mailbox open");
+    }
+
+    fn recv_dispatch(&mut self) {
+        let wait = Instant::now();
+        let msg = self.rx.recv().expect("mailbox open");
+        self.stats.idle_ns += wait.elapsed().as_nanos() as u64;
+        self.dispatch(msg);
+    }
+
+    fn dispatch(&mut self, msg: Msg) {
+        match msg {
+            Msg::Done { unit } => {
+                for &s in self.deps.succs(unit as usize) {
+                    if self.assignment.proc_of(s as usize) == self.me {
+                        self.remaining[s as usize] -= 1;
+                    }
+                }
+            }
+            Msg::Request { from, ids } => {
+                let vals: Box<[f64]> = ids
+                    .iter()
+                    .map(|&id| {
+                        debug_assert_eq!(
+                            self.proc_of_entry[id as usize] as usize, self.me,
+                            "request for an element not owned here"
+                        );
+                        debug_assert!(
+                            self.done_units[self.unit_of_entry[id as usize] as usize],
+                            "request for an element that is not final yet"
+                        );
+                        self.vals[id as usize]
+                    })
+                    .collect();
+                let bytes = reply_bytes(ids.len());
+                self.stats.replies_served += 1;
+                self.stats.elements_served += ids.len();
+                self.send(from as usize, Msg::Reply { ids, vals }, bytes);
+            }
+            Msg::Reply { ids, vals } => {
+                for (&id, &v) in ids.iter().zip(vals.iter()) {
+                    self.vals[id as usize] = v;
+                }
+                self.pending -= ids.len();
+            }
+            Msg::Finished { .. } => self.terminals += 1,
+            Msg::Abort { .. } => {
+                self.terminals += 1;
+                self.peer_abort = true;
+            }
+        }
+    }
+
+    /// Classifies one source access the way `data_traffic` does: local,
+    /// cache hit, or a new remote fetch queued for the owner's batch.
+    fn touch(&mut self, src: u32) {
+        let sp = self.proc_of_entry[src as usize] as usize;
+        if sp == self.me {
+            self.stats.local_accesses += 1;
+        } else if self.cached[src as usize] {
+            self.stats.cache_hits += 1;
+        } else {
+            self.cached[src as usize] = true;
+            self.stats.traffic += 1;
+            self.fetched_from[sp] += 1;
+            self.want[sp].push(src);
+        }
+    }
+
+    /// Scans unit `u`'s operations in execution order and requests every
+    /// remote source element not yet cached — one batched message per
+    /// owning processor.
+    fn prefetch(&mut self, u: usize) {
+        let ops_list = self.unit_ops;
+        for r in &ops_list[u] {
+            self.touch(r.s1);
+            if r.s2 != r.s1 {
+                self.touch(r.s2);
+            }
+        }
+        // Scaling reads the final diagonal of the entry's column
+        // (diagonal ids are exactly the column indices).
+        let entries_list = self.unit_entries;
+        for &id in &entries_list[u] {
+            if id as usize >= self.n {
+                self.touch(self.col_of[id as usize]);
+            }
+        }
+        for sp in 0..self.nprocs {
+            if self.want[sp].is_empty() {
+                continue;
+            }
+            let ids: Box<[u32]> = std::mem::take(&mut self.want[sp]).into_boxed_slice();
+            self.pending += ids.len();
+            self.stats.requests_sent += 1;
+            let bytes = request_bytes(ids.len());
+            self.send(
+                sp,
+                Msg::Request {
+                    from: self.me as u32,
+                    ids,
+                },
+                bytes,
+            );
+        }
+    }
+
+    /// Runs unit `u` on the private value store — the same per-column
+    /// interleaving of updates and finalization as the shared-memory
+    /// block executor, so per-element arithmetic order is sequential.
+    /// Returns the failing column on a non-positive pivot.
+    fn execute_unit(&mut self, u: usize) -> Result<(), usize> {
+        let ops_list: &[OpRec] = &self.unit_ops[u];
+        let entries_list: &[u32] = &self.unit_entries[u];
+        let col_of = self.col_of;
+        let mut oi = 0usize;
+        let mut ei = 0usize;
+        while ei < entries_list.len() {
+            let col = col_of[entries_list[ei] as usize];
+            while oi < ops_list.len() && col_of[ops_list[oi].tgt as usize] == col {
+                let r = ops_list[oi];
+                self.vals[r.tgt as usize] -= self.vals[r.s1 as usize] * self.vals[r.s2 as usize];
+                self.stats.work += 2;
+                oi += 1;
+            }
+            let start = ei;
+            while ei < entries_list.len() && col_of[entries_list[ei] as usize] == col {
+                ei += 1;
+            }
+            for &id in &entries_list[start..ei] {
+                let id = id as usize;
+                if id == col as usize {
+                    // Diagonal ids sort before strict entries (>= n), so
+                    // the pivot is finalized before its column scales.
+                    let d = self.vals[id];
+                    if d <= 0.0 {
+                        return Err(col as usize);
+                    }
+                    self.vals[id] = d.sqrt();
+                } else {
+                    self.vals[id] /= self.vals[col as usize];
+                    self.stats.work += 1;
+                }
+            }
+        }
+        debug_assert_eq!(oi, ops_list.len(), "update op targeting a non-owned column");
+        Ok(())
+    }
+
+    fn run(mut self) -> Outcome {
+        let mut error: Option<usize> = None;
+        'program: for qi in 0..self.queue.len() {
+            let u = self.queue[qi] as usize;
+            while self.remaining[u] > 0 {
+                if self.peer_abort {
+                    break 'program;
+                }
+                self.recv_dispatch();
+            }
+            if self.peer_abort {
+                break 'program;
+            }
+            self.prefetch(u);
+            while self.pending > 0 {
+                if self.peer_abort {
+                    break 'program;
+                }
+                self.recv_dispatch();
+            }
+            if self.peer_abort {
+                break 'program;
+            }
+            let work = Instant::now();
+            let result = self.execute_unit(u);
+            self.stats.busy_ns += work.elapsed().as_nanos() as u64;
+            if let Err(col) = result {
+                error = Some(col);
+                break 'program;
+            }
+            self.stats.units += 1;
+            self.done_units[u] = true;
+            self.notify.iter_mut().for_each(|f| *f = false);
+            for &s in self.deps.succs(u) {
+                let p = self.assignment.proc_of(s as usize);
+                if p == self.me {
+                    self.remaining[s as usize] -= 1;
+                } else {
+                    self.notify[p] = true;
+                }
+            }
+            for p in 0..self.nprocs {
+                if self.notify[p] {
+                    self.send(p, Msg::Done { unit: u as u32 }, DONE_BYTES);
+                }
+            }
+        }
+        // Terminal broadcast, then drain (still serving requests) until
+        // every peer's terminal arrived — nobody is left owed a reply.
+        let me = self.me as u32;
+        for p in 0..self.nprocs {
+            if p != self.me {
+                let msg = if error.is_some() {
+                    Msg::Abort { from: me }
+                } else {
+                    Msg::Finished { from: me }
+                };
+                self.send(p, msg, TERMINAL_BYTES);
+            }
+        }
+        while self.terminals < self.nprocs - 1 {
+            self.recv_dispatch();
+        }
+        Outcome {
+            stats: self.stats,
+            fetched_from: self.fetched_from,
+            vals: self.vals,
+            error: error.map(NumericError::NotPositiveDefinite),
+        }
+    }
+}
+
+/// Runs the schedule on the virtual machine. See [`crate::execute`].
+pub fn execute_with(
+    a: &SymmetricCsc,
+    symbolic: &SymbolicFactor,
+    partition: &Partition,
+    deps: &DepGraph,
+    assignment: &Assignment,
+    network: &NetworkModel,
+) -> Result<MpReport, NumericError> {
+    let n = a.n();
+    if n != symbolic.n() {
+        return Err(NumericError::StructureMismatch(format!(
+            "matrix is {n}, symbolic factor is {}",
+            symbolic.n()
+        )));
+    }
+    let nu = partition.num_units();
+    let nprocs = assignment.nprocs;
+    let entries = symbolic.num_entries();
+
+    // Seed values of A in entry-id layout (zeros where fill).
+    let mut seed = vec![0.0f64; entries];
+    for j in 0..n {
+        let rows = a.col_rows(j);
+        let avals = a.col_values(j);
+        seed[j] = avals[0];
+        for (&i, &v) in rows[1..].iter().zip(&avals[1..]) {
+            let id = symbolic.entry_id(i, j).ok_or_else(|| {
+                NumericError::StructureMismatch(format!("A({i}, {j}) not in factor"))
+            })?;
+            seed[id] = v;
+        }
+    }
+
+    // Per-unit work scripts, identical to the shared-memory block
+    // executor: updates grouped by target column in ascending
+    // source-column order, owned entries sorted by (column, id).
+    let owner = partition.owner_map();
+    let eid = |i: usize, j: usize| symbolic.entry_id(i, j).expect("factor entry");
+    let mut unit_ops: Vec<Vec<OpRec>> = vec![Vec::new(); nu];
+    ops::for_each_update(symbolic, |op| {
+        let tgt = eid(op.i, op.j);
+        unit_ops[owner[tgt] as usize].push(OpRec {
+            tgt: tgt as u32,
+            s1: eid(op.i, op.k) as u32,
+            s2: eid(op.j, op.k) as u32,
+        });
+    });
+    let col_of: Vec<u32> = (0..entries)
+        .map(|id| symbolic.entry_coords(id).1 as u32)
+        .collect();
+    for ops_list in &mut unit_ops {
+        ops_list.sort_by_key(|r| col_of[r.tgt as usize]);
+    }
+    let mut unit_entries: Vec<Vec<u32>> = vec![Vec::new(); nu];
+    for (id, &u) in owner.iter().enumerate() {
+        unit_entries[u as usize].push(id as u32);
+    }
+    for list in &mut unit_entries {
+        list.sort_by_key(|&id| (col_of[id as usize], id));
+    }
+
+    let proc_of_entry: Vec<u32> = owner
+        .iter()
+        .map(|&u| assignment.proc_of(u as usize) as u32)
+        .collect();
+    let queues = processor_queues(deps, assignment);
+    let preds_len: Vec<usize> = (0..nu).map(|u| deps.preds(u).len()).collect();
+
+    let (txs, rxs): (Vec<_>, Vec<_>) = (0..nprocs).map(|_| channel::unbounded::<Msg>()).unzip();
+
+    let outcomes: Vec<Outcome> = crossbeam::scope(|scope| {
+        let txs = &txs;
+        let handles: Vec<_> = rxs
+            .into_iter()
+            .enumerate()
+            .map(|(p, rx)| {
+                // Each processor owns exactly its assigned entries: the
+                // private store holds A's values there and zeros
+                // elsewhere, so an un-fetched remote read cannot go
+                // unnoticed by the bit-identical cross-check.
+                let vals: Vec<f64> = seed
+                    .iter()
+                    .enumerate()
+                    .map(|(e, &v)| if proc_of_entry[e] == p as u32 { v } else { 0.0 })
+                    .collect();
+                let worker = Worker {
+                    me: p,
+                    nprocs,
+                    n,
+                    rx,
+                    txs,
+                    queue: &queues[p],
+                    deps,
+                    assignment,
+                    unit_ops: &unit_ops,
+                    unit_entries: &unit_entries,
+                    col_of: &col_of,
+                    proc_of_entry: &proc_of_entry,
+                    unit_of_entry: owner,
+                    vals,
+                    cached: vec![false; entries],
+                    remaining: preds_len.clone(),
+                    done_units: vec![false; nu],
+                    want: vec![Vec::new(); nprocs],
+                    pending: 0,
+                    notify: vec![false; nprocs],
+                    terminals: 0,
+                    peer_abort: false,
+                    stats: ProcStats::default(),
+                    fetched_from: vec![0; nprocs],
+                };
+                scope.spawn(move |_| worker.run())
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("virtual processor panicked"))
+            .collect()
+    })
+    .expect("worker panicked");
+
+    // Deterministic error selection: the lowest failing column.
+    if let Some(e) = outcomes
+        .iter()
+        .filter_map(|o| o.error.as_ref())
+        .min_by_key(|e| match e {
+            NumericError::NotPositiveDefinite(col) => *col,
+            NumericError::StructureMismatch(_) => usize::MAX,
+        })
+    {
+        return Err(e.clone());
+    }
+
+    // Gather each entry's final value from its owner and repackage into
+    // the NumericFactor layout.
+    let mut values = vec![0.0f64; entries];
+    for (e, v) in values.iter_mut().enumerate() {
+        *v = outcomes[proc_of_entry[e] as usize].vals[e];
+    }
+    let mut colptr = Vec::with_capacity(n + 1);
+    colptr.push(0usize);
+    let mut rowidx = Vec::with_capacity(symbolic.nnz_strict_lower());
+    for j in 0..n {
+        rowidx.extend_from_slice(symbolic.col(j));
+        colptr.push(rowidx.len());
+    }
+    let diag: Vec<f64> = values[..n].to_vec();
+    let vals: Vec<f64> = values[n..].to_vec();
+    let factor = NumericFactor::from_parts(n, diag, vals, colptr, rowidx);
+
+    let mut pair_matrix = vec![0usize; nprocs * nprocs];
+    for (dst, o) in outcomes.iter().enumerate() {
+        for (src, &count) in o.fetched_from.iter().enumerate() {
+            pair_matrix[src * nprocs + dst] = count;
+        }
+    }
+    let per_proc: Vec<ProcStats> = outcomes.into_iter().map(|o| o.stats).collect();
+    let estimated_time = per_proc
+        .iter()
+        .map(|s| network.proc_time(s))
+        .fold(0.0, f64::max);
+
+    Ok(MpReport {
+        factor,
+        nprocs,
+        per_proc,
+        pair_matrix,
+        network: *network,
+        estimated_time,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spfactor_matrix::{gen, SymmetricPattern};
+    use spfactor_order::{order, Ordering};
+    use spfactor_partition::{dependencies, PartitionParams};
+    use spfactor_sched::{block_allocation, wrap_allocation};
+    use spfactor_simulate::{data_traffic, work_distribution};
+
+    fn setup_block(
+        p: &SymmetricPattern,
+        grain: usize,
+        nprocs: usize,
+        seed: u64,
+    ) -> (
+        SymmetricCsc,
+        SymbolicFactor,
+        Partition,
+        DepGraph,
+        Assignment,
+    ) {
+        let perm = order(p, Ordering::paper_default());
+        let a = gen::spd_from_pattern(&p.permute(&perm), seed);
+        let f = SymbolicFactor::from_pattern(&a.pattern());
+        let part = Partition::build(&f, &PartitionParams::with_grain(grain));
+        let deps = dependencies(&f, &part);
+        let assign = block_allocation(&part, &deps, nprocs);
+        (a, f, part, deps, assign)
+    }
+
+    fn setup_wrap(
+        p: &SymmetricPattern,
+        nprocs: usize,
+        seed: u64,
+    ) -> (
+        SymmetricCsc,
+        SymbolicFactor,
+        Partition,
+        DepGraph,
+        Assignment,
+    ) {
+        let perm = order(p, Ordering::paper_default());
+        let a = gen::spd_from_pattern(&p.permute(&perm), seed);
+        let f = SymbolicFactor::from_pattern(&a.pattern());
+        let part = Partition::columns(&f);
+        let deps = dependencies(&f, &part);
+        let assign = wrap_allocation(&part, nprocs);
+        (a, f, part, deps, assign)
+    }
+
+    fn check(
+        a: &SymmetricCsc,
+        f: &SymbolicFactor,
+        part: &Partition,
+        deps: &DepGraph,
+        assign: &Assignment,
+    ) -> MpReport {
+        let report =
+            execute_with(a, f, part, deps, assign, &NetworkModel::default()).expect("mp execute");
+        // Factor is the sequential factor, bit for bit (stronger than
+        // the 1e-10 acceptance bound).
+        let seq = spfactor_numeric::cholesky(a, f).unwrap();
+        assert_eq!(report.factor, seq);
+        // Observed traffic and work match the analytic simulator exactly.
+        assert_eq!(report.traffic_report(), data_traffic(f, part, assign));
+        assert_eq!(report.work_report(), work_distribution(part, assign));
+        report
+    }
+
+    #[test]
+    fn block_mapping_matches_simulator_and_sequential_factor() {
+        for (p, grain, nprocs) in [
+            (gen::lap9(8, 8), 4usize, 4usize),
+            (gen::lap9(10, 10), 25, 8),
+            (gen::grid5(7, 7), 4, 3),
+            (gen::frame_shell(4, 10), 4, 5),
+        ] {
+            let (a, f, part, deps, assign) = setup_block(&p, grain, nprocs, 11);
+            check(&a, &f, &part, &deps, &assign);
+        }
+    }
+
+    #[test]
+    fn wrap_mapping_matches_simulator_and_sequential_factor() {
+        for (p, nprocs) in [(gen::lap9(8, 8), 4usize), (gen::grid5(9, 9), 7)] {
+            let (a, f, part, deps, assign) = setup_wrap(&p, nprocs, 23);
+            check(&a, &f, &part, &deps, &assign);
+        }
+    }
+
+    #[test]
+    fn single_processor_sends_no_messages() {
+        let (a, f, part, deps, assign) = setup_block(&gen::lap9(7, 7), 4, 1, 3);
+        let report = check(&a, &f, &part, &deps, &assign);
+        assert_eq!(report.msgs_total(), 0);
+        assert_eq!(report.bytes_total(), 0);
+        assert_eq!(report.traffic_report().total, 0);
+        assert!(report.per_proc[0].local_accesses > 0);
+    }
+
+    #[test]
+    fn observed_statistics_are_deterministic() {
+        let (a, f, part, deps, assign) = setup_block(&gen::lap9(9, 9), 4, 16, 7);
+        let first = check(&a, &f, &part, &deps, &assign);
+        for _ in 0..3 {
+            let again = check(&a, &f, &part, &deps, &assign);
+            assert_eq!(again.factor, first.factor);
+            assert_eq!(again.pair_matrix, first.pair_matrix);
+            for (s, t) in again.per_proc.iter().zip(&first.per_proc) {
+                // Everything except wall-clock time is schedule-determined.
+                let scrub = |x: &ProcStats| ProcStats {
+                    idle_ns: 0,
+                    busy_ns: 0,
+                    ..x.clone()
+                };
+                assert_eq!(scrub(s), scrub(t));
+            }
+        }
+    }
+
+    #[test]
+    fn cache_discipline_fetches_each_element_once() {
+        let (a, f, part, deps, assign) = setup_wrap(&gen::lap9(10, 10), 4, 9);
+        let report = check(&a, &f, &part, &deps, &assign);
+        assert!(report.cache_hits_total() > 0, "expected repeated remote use");
+        // Reply payloads across the machine carry exactly the distinct
+        // fetched elements: one reply element per unit of traffic.
+        let served: usize = report.per_proc.iter().map(|s| s.elements_served).sum();
+        assert_eq!(served, report.traffic_report().total);
+    }
+
+    #[test]
+    fn estimated_time_responds_to_the_network_model() {
+        let (a, f, part, deps, assign) = setup_wrap(&gen::lap9(8, 8), 4, 9);
+        let report = check(&a, &f, &part, &deps, &assign);
+        let slow = NetworkModel::new(1.0, 0.1, 1e-9);
+        let fast = NetworkModel::new(1e-9, 1e-10, 1e-9);
+        assert!(report.estimate(&slow) > report.estimate(&fast));
+        // Free network reduces to the work bottleneck.
+        let wmax = report.work_report().max();
+        assert_eq!(report.estimate(&NetworkModel::free()), wmax as f64);
+    }
+
+    #[test]
+    fn indefinite_matrix_aborts_cleanly_across_processors() {
+        use spfactor_matrix::Coo;
+        let mut coo = Coo::new(3);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(1, 0, 5.0).unwrap();
+        coo.push(1, 1, 1.0).unwrap();
+        coo.push(2, 2, 1.0).unwrap();
+        let a = coo.to_csc();
+        let f = SymbolicFactor::from_pattern(&a.pattern());
+        let part = Partition::build(&f, &PartitionParams::with_grain(4));
+        let deps = dependencies(&f, &part);
+        let assign = block_allocation(&part, &deps, 2);
+        assert_eq!(
+            execute_with(&a, &f, &part, &deps, &assign, &NetworkModel::default()).unwrap_err(),
+            NumericError::NotPositiveDefinite(1)
+        );
+    }
+
+    #[test]
+    fn structure_mismatch_is_reported() {
+        let p = gen::lap9(4, 4);
+        let (a, _, part, deps, assign) = setup_block(&p, 4, 2, 1);
+        let other = SymbolicFactor::from_pattern(&gen::lap9(3, 3));
+        assert!(matches!(
+            execute_with(&a, &other, &part, &deps, &assign, &NetworkModel::default()),
+            Err(NumericError::StructureMismatch(_))
+        ));
+    }
+}

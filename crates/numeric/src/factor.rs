@@ -74,7 +74,13 @@ impl NumericFactor {
         z
     }
 
-    pub(crate) fn from_parts(
+    /// Assembles a factor from its raw storage arrays. Used by the
+    /// executors in this crate and by external runtimes (e.g.
+    /// `spfactor-mp`) that compute the values under their own execution
+    /// discipline; `diag` holds the `n` diagonal values, `vals` the
+    /// strict-lower values in the column-compressed layout described by
+    /// `colptr`/`rowidx`.
+    pub fn from_parts(
         n: usize,
         diag: Vec<f64>,
         vals: Vec<f64>,

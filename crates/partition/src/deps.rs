@@ -65,34 +65,34 @@ use spfactor_trace::Recorder;
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum DepCategory {
     /// 1. A column updates a column — both sources in one column unit,
-    /// target in a later column unit (Fig. 1's column dependency).
+    ///    target in a later column unit (Fig. 1's column dependency).
     ColUpdatesCol,
     /// 2. A column updates a triangle — sources in a column unit, target
-    /// inside a strip's diagonal sub-triangle.
+    ///    inside a strip's diagonal sub-triangle.
     ColUpdatesTri,
     /// 3. A column updates a rectangle — sources in a column unit, target
-    /// in a below-diagonal sub-rectangle of a strip.
+    ///    in a below-diagonal sub-rectangle of a strip.
     ColUpdatesRect,
     /// 4. A triangle updates a rectangle — `(j,k)` in a sub-triangle,
-    /// `(i,k)` directly below it in the same strip, target a rectangle.
+    ///    `(i,k)` directly below it in the same strip, target a rectangle.
     TriUpdatesRect,
     /// 5. A triangle and a rectangle update a rectangle — the two source
-    /// elements split across a triangle and a rectangle of one strip.
+    ///    elements split across a triangle and a rectangle of one strip.
     TriRectUpdateRect,
     /// 6. A rectangle updates a column — both sources in one
-    /// sub-rectangle, target a single-column unit.
+    ///    sub-rectangle, target a single-column unit.
     RectUpdatesCol,
     /// 7. Two rectangles update a column — sources in two different
-    /// sub-rectangles of the source strip, target a column unit.
+    ///    sub-rectangles of the source strip, target a column unit.
     TwoRectsUpdateCol,
     /// 8. A rectangle updates a triangle — both sources in one
-    /// sub-rectangle whose rows meet a later strip's diagonal block.
+    ///    sub-rectangle whose rows meet a later strip's diagonal block.
     RectUpdatesTri,
     /// 9. Two rectangles update a triangle — sources in two
-    /// sub-rectangles, target a diagonal sub-triangle.
+    ///    sub-rectangles, target a diagonal sub-triangle.
     TwoRectsUpdateTri,
     /// 10. Two rectangles update a rectangle (`R1 = R2` allowed) — the
-    /// dominant category on large mesh problems.
+    ///     dominant category on large mesh problems.
     TwoRectsUpdateRect,
 }
 

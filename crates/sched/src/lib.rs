@@ -16,11 +16,17 @@
 //! * [`proportional`] — subtree-to-processor proportional mapping, the
 //!   "more sophisticated strategy" the paper's conclusion anticipates;
 //! * [`export`] — a plain-text schedule interchange format (the artifact
-//!   the paper's partitioner hands to its simulator).
+//!   the paper's partitioner hands to its simulator);
+//! * [`order`] — the second half of scheduling the paper leaves open:
+//!   a deterministic topological execution order and the per-processor
+//!   work queues the `spfactor-mp` runtime executes.
 
 pub mod alt;
 pub mod export;
+pub mod order;
 pub mod proportional;
+
+pub use order::{processor_queues, topological_order};
 
 use spfactor_partition::{DepGraph, Partition, UnitShape};
 use spfactor_trace::Recorder;
@@ -167,9 +173,8 @@ fn block_allocation_impl(
                         let sp = proc_of_unit[s as usize];
                         (sp != UNASSIGNED).then_some(sp as usize)
                     })
-                    .map(|p| {
+                    .inspect(|_| {
                         stats.dependent_pred += 1;
-                        p
                     })
                     .unwrap_or_else(|| {
                         stats.dependent_pool += 1;

@@ -1,0 +1,141 @@
+//! Ordering work within each processor — the second half of scheduling.
+//!
+//! The paper splits scheduling into "allocating unit blocks to processors
+//! and ordering the computational work within each processor" and only
+//! implements the first; an *executing* runtime needs the second. Unit
+//! ids are laid out in allocation scan order, which is **not** a
+//! topological order of the dependency graph: inside a strip cluster the
+//! interior sub-rectangles of the triangle carry higher ids than the
+//! diagonal sub-triangles they update. [`topological_order`] produces a
+//! deterministic schedule that respects every dependency edge, and
+//! [`processor_queues`] projects it onto an [`Assignment`] — giving each
+//! virtual processor a fixed program whose in-order execution is
+//! provably deadlock-free (see `spfactor-mp`).
+
+use crate::Assignment;
+use spfactor_partition::DepGraph;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A deterministic topological order of the unit-block dependency graph:
+/// Kahn's algorithm with a min-id priority queue, so among all ready
+/// units the lowest id (earliest in allocation scan order) runs first.
+///
+/// Panics if the graph has a cycle — a valid partition never produces
+/// one, since every dependency reads data of strictly earlier columns or
+/// of the diagonal above the reader.
+pub fn topological_order(deps: &DepGraph) -> Vec<u32> {
+    let nu = deps.num_units();
+    let mut remaining: Vec<usize> = (0..nu).map(|u| deps.preds(u).len()).collect();
+    let mut ready: BinaryHeap<Reverse<u32>> = (0..nu as u32)
+        .filter(|&u| remaining[u as usize] == 0)
+        .map(Reverse)
+        .collect();
+    let mut order = Vec::with_capacity(nu);
+    while let Some(Reverse(u)) = ready.pop() {
+        order.push(u);
+        for &s in deps.succs(u as usize) {
+            remaining[s as usize] -= 1;
+            if remaining[s as usize] == 0 {
+                ready.push(Reverse(s));
+            }
+        }
+    }
+    assert_eq!(order.len(), nu, "dependency graph has a cycle");
+    order
+}
+
+/// The per-processor work queues induced by a topological order: queue
+/// `p` lists the units assigned to processor `p`, in global topological
+/// position. Executing each queue strictly in order (waiting for a
+/// unit's remaining predecessors before running it) can never deadlock:
+/// the globally earliest unexecuted unit is always at the front of its
+/// owner's queue with all predecessors complete.
+pub fn processor_queues(deps: &DepGraph, assignment: &Assignment) -> Vec<Vec<u32>> {
+    let mut queues: Vec<Vec<u32>> = vec![Vec::new(); assignment.nprocs];
+    for &u in &topological_order(deps) {
+        queues[assignment.proc_of(u as usize)].push(u);
+    }
+    queues
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block_allocation;
+    use spfactor_matrix::gen;
+    use spfactor_order::{order, Ordering};
+    use spfactor_partition::{dependencies, Partition, PartitionParams};
+    use spfactor_symbolic::SymbolicFactor;
+
+    fn setup(grain: usize) -> (Partition, DepGraph) {
+        let p = gen::lap9(10, 10);
+        let perm = order(&p, Ordering::paper_default());
+        let f = SymbolicFactor::from_pattern(&p.permute(&perm));
+        let part = Partition::build(&f, &PartitionParams::with_grain(grain));
+        let deps = dependencies(&f, &part);
+        (part, deps)
+    }
+
+    #[test]
+    fn order_is_a_permutation_respecting_all_edges() {
+        for grain in [1, 4, 25] {
+            let (part, deps) = setup(grain);
+            let order = topological_order(&deps);
+            assert_eq!(order.len(), part.num_units());
+            let mut pos = vec![usize::MAX; part.num_units()];
+            for (k, &u) in order.iter().enumerate() {
+                assert_eq!(pos[u as usize], usize::MAX, "unit {u} repeated");
+                pos[u as usize] = k;
+            }
+            for u in 0..part.num_units() {
+                for &s in deps.preds(u) {
+                    assert!(
+                        pos[s as usize] < pos[u],
+                        "pred {s} scheduled after {u} (grain {grain})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scan_order_is_not_topological_but_ours_is() {
+        // The documented motivation: interior rectangles (higher ids)
+        // update sub-triangles (lower ids), so ascending-id execution
+        // would violate an edge on any strip-bearing partition.
+        let (part, deps) = setup(4);
+        let backwards = (0..part.num_units())
+            .any(|u| deps.preds(u).iter().any(|&s| s as usize > u));
+        assert!(backwards, "expected at least one higher-id predecessor");
+    }
+
+    #[test]
+    fn order_is_deterministic_and_minimal_first() {
+        let (_, deps) = setup(4);
+        assert_eq!(topological_order(&deps), topological_order(&deps));
+        // The first scheduled unit is the smallest independent id.
+        let first = *topological_order(&deps).first().unwrap();
+        let min_indep = deps.independent_units().into_iter().min().unwrap();
+        assert_eq!(first as usize, min_indep);
+    }
+
+    #[test]
+    fn processor_queues_partition_the_units() {
+        let (part, deps) = setup(4);
+        for nprocs in [1, 3, 8] {
+            let a = block_allocation(&part, &deps, nprocs);
+            let queues = processor_queues(&deps, &a);
+            assert_eq!(queues.len(), nprocs);
+            let mut seen = vec![false; part.num_units()];
+            for (p, q) in queues.iter().enumerate() {
+                for &u in q {
+                    assert_eq!(a.proc_of(u as usize), p);
+                    assert!(!seen[u as usize]);
+                    seen[u as usize] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+}

@@ -81,11 +81,7 @@ pub struct SpanStats {
 impl SpanStats {
     /// Mean nanoseconds per activation (0 when never entered).
     pub fn mean_ns(&self) -> u64 {
-        if self.count == 0 {
-            0
-        } else {
-            self.total_ns / self.count
-        }
+        self.total_ns.checked_div(self.count).unwrap_or(0)
     }
 }
 

@@ -15,6 +15,12 @@ cargo build --release
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
+echo "==> lints: cargo clippy --workspace (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> mp cross-validation: executed runtime vs analytic simulator"
+cargo test -q -p spfactor --test mp_cross_validation
+
 echo "==> trace feature off: cargo test --no-default-features"
 cargo test -q --workspace --no-default-features
 

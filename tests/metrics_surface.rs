@@ -146,6 +146,54 @@ mod enabled {
     }
 
     #[test]
+    fn message_passing_backend_emits_its_surface() {
+        let rec = Arc::new(Recorder::new());
+        let result = Pipeline::new(spfactor::matrix::gen::lap9(8, 8))
+            .grain(4)
+            .processors(4)
+            .backend(spfactor::ExecutionBackend::MessagePassing(
+                spfactor::NetworkModel::default(),
+            ))
+            .with_recorder(rec.clone())
+            .run();
+        let exec = result.execution.as_ref().expect("backend ran");
+        for span in ["phase.execute", "mp.execute"] {
+            let stats = rec
+                .span_stats(span)
+                .unwrap_or_else(|| panic!("span {span} missing"));
+            assert_eq!(stats.count, 1, "span {span} should fire exactly once");
+        }
+        // The executed runtime reproduces the analytic model exactly, and
+        // the counters/gauges mirror the report it returns.
+        assert_eq!(rec.counter("mp.remote_fetches"), result.traffic.total as u64);
+        assert_eq!(rec.counter("mp.msgs_sent"), exec.msgs_total() as u64);
+        assert_eq!(rec.counter("mp.bytes"), exec.bytes_total() as u64);
+        assert_eq!(rec.counter("mp.cache_hits"), exec.cache_hits_total() as u64);
+        assert_eq!(
+            rec.counter("mp.units_run"),
+            result.partition.num_units() as u64
+        );
+        assert_eq!(
+            rec.gauge_value("mp.traffic.total"),
+            Some(result.traffic.total as f64)
+        );
+        assert_eq!(
+            rec.gauge_value("mp.work.max"),
+            Some(result.work.max() as f64)
+        );
+        assert_eq!(
+            rec.gauge_value("mp.estimated_time"),
+            Some(exec.estimated_time)
+        );
+        for p in 0..4 {
+            assert_eq!(
+                rec.gauge_value(&format!("mp.proc.{p}.traffic")),
+                Some(exec.per_proc[p].traffic as f64)
+            );
+        }
+    }
+
+    #[test]
     fn wrap_scheme_records_its_own_branch() {
         let rec = Arc::new(Recorder::new());
         let result = Pipeline::new(spfactor::matrix::gen::lap9(10, 10))
