@@ -1,0 +1,225 @@
+//! Pipeline phase benchmark — the repo's tracked perf baseline.
+//!
+//! Times the six pipeline phases (order, symbolic, partition, deps,
+//! sched, simulate) on the five paper matrices plus a large generated
+//! 9-point grid, running the simulate phase under all three
+//! [`SimulateEngine`]s, and writes the results as `BENCH_pipeline.json`.
+//! The headline number is the speedup of the block-closed-form engines
+//! over the per-element oracle on the large grid.
+//!
+//! ```text
+//! cargo run --release -p spfactor-bench --bin bench_pipeline
+//! cargo run --release -p spfactor-bench --bin bench_pipeline -- --smoke
+//! cargo run --release -p spfactor-bench --bin bench_pipeline -- --out /tmp/b.json
+//! ```
+//!
+//! `--smoke` replaces the matrix set with one tiny grid so CI can
+//! validate the JSON schema in a fraction of a second; the schema is
+//! identical to the full run. Every run also cross-checks that the three
+//! engines return bit-identical reports and aborts if they do not, so a
+//! committed baseline is always an equivalence witness too.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use spfactor::matrix::gen::paper::{self, TestMatrix};
+use spfactor::partition::dependencies;
+use spfactor::sched::block_allocation;
+use spfactor::simulate::{simulate, SimulateEngine};
+use spfactor::{Ordering, Partition, PartitionParams, SymbolicFactor};
+
+/// Schema identifier validated by `scripts/bench.sh --smoke`.
+const SCHEMA: &str = "spfactor-bench-pipeline/1";
+
+const ENGINES: [SimulateEngine; 3] = [
+    SimulateEngine::Element,
+    SimulateEngine::Block,
+    SimulateEngine::BlockParallel,
+];
+
+struct MatrixResult {
+    name: String,
+    n: usize,
+    factor_entries: usize,
+    nprocs: usize,
+    phases_ms: [(&'static str, f64); 5],
+    simulate_ms: Vec<(&'static str, f64)>,
+    traffic_total: usize,
+    work_total: usize,
+    speedup_block_parallel: f64,
+}
+
+fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t = Instant::now();
+    let v = f();
+    (v, t.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Benchmarks one matrix end to end on the block scheme.
+fn bench_matrix(m: &TestMatrix, nprocs: usize, grain: usize) -> MatrixResult {
+    let (perm, order_ms) =
+        time_ms(|| spfactor::order::order(&m.pattern, Ordering::paper_default()));
+    let permuted = m.pattern.permute(&perm);
+    let (factor, symbolic_ms) = time_ms(|| SymbolicFactor::from_pattern(&permuted));
+    let params = PartitionParams::with_grain(grain);
+    let (partition, partition_ms) = time_ms(|| Partition::build(&factor, &params));
+    let (deps, deps_ms) = time_ms(|| dependencies(&factor, &partition));
+    let (assignment, sched_ms) = time_ms(|| block_allocation(&partition, &deps, nprocs));
+
+    // Simulate under each engine; keep the best of `reps` runs and check
+    // the engines agree bit for bit.
+    let reps = if factor.n() <= 2_000 { 3 } else { 1 };
+    let mut simulate_ms = Vec::new();
+    let mut reports = Vec::new();
+    for engine in ENGINES {
+        let mut best = f64::INFINITY;
+        let mut out = None;
+        for _ in 0..reps {
+            let (r, ms) = time_ms(|| simulate(engine, &factor, &partition, &assignment));
+            best = best.min(ms);
+            out = Some(r);
+        }
+        simulate_ms.push((engine.name(), best));
+        reports.push(out.expect("at least one rep"));
+    }
+    let (traffic, work) = &reports[0];
+    for (engine, (t, w)) in ENGINES.iter().zip(&reports).skip(1) {
+        assert_eq!(t, traffic, "{}: {engine:?} traffic != element", m.name);
+        assert_eq!(w, work, "{}: {engine:?} work != element", m.name);
+    }
+
+    let element_ms = simulate_ms[0].1;
+    let parallel_ms = simulate_ms[2].1;
+    MatrixResult {
+        name: m.name.to_string(),
+        n: factor.n(),
+        factor_entries: factor.num_entries(),
+        nprocs,
+        phases_ms: [
+            ("order", order_ms),
+            ("symbolic", symbolic_ms),
+            ("partition", partition_ms),
+            ("deps", deps_ms),
+            ("sched", sched_ms),
+        ],
+        simulate_ms,
+        traffic_total: traffic.total,
+        work_total: work.total,
+        speedup_block_parallel: if parallel_ms > 0.0 {
+            element_ms / parallel_ms
+        } else {
+            f64::INFINITY
+        },
+    }
+}
+
+fn json_document(mode: &str, large_grid: &str, results: &[MatrixResult]) -> String {
+    let mut s = String::new();
+    let large_speedup = results
+        .iter()
+        .find(|r| r.name == large_grid)
+        .map(|r| r.speedup_block_parallel)
+        .unwrap_or(0.0);
+    writeln!(s, "{{").unwrap();
+    writeln!(s, "  \"schema\": \"{SCHEMA}\",").unwrap();
+    writeln!(s, "  \"mode\": \"{mode}\",").unwrap();
+    writeln!(s, "  \"large_grid\": \"{large_grid}\",").unwrap();
+    writeln!(s, "  \"large_grid_speedup\": {large_speedup:.2},").unwrap();
+    writeln!(s, "  \"matrices\": [").unwrap();
+    for (i, r) in results.iter().enumerate() {
+        writeln!(s, "    {{").unwrap();
+        writeln!(s, "      \"name\": \"{}\",", r.name).unwrap();
+        writeln!(s, "      \"n\": {},", r.n).unwrap();
+        writeln!(s, "      \"factor_entries\": {},", r.factor_entries).unwrap();
+        writeln!(s, "      \"scheme\": \"block\",").unwrap();
+        writeln!(s, "      \"nprocs\": {},", r.nprocs).unwrap();
+        writeln!(s, "      \"phases_ms\": {{").unwrap();
+        for (j, (name, ms)) in r.phases_ms.iter().enumerate() {
+            let comma = if j + 1 < r.phases_ms.len() { "," } else { "" };
+            writeln!(s, "        \"{name}\": {ms:.3}{comma}").unwrap();
+        }
+        writeln!(s, "      }},").unwrap();
+        writeln!(s, "      \"simulate_ms\": {{").unwrap();
+        for (j, (name, ms)) in r.simulate_ms.iter().enumerate() {
+            let comma = if j + 1 < r.simulate_ms.len() { "," } else { "" };
+            writeln!(s, "        \"{name}\": {ms:.3}{comma}").unwrap();
+        }
+        writeln!(s, "      }},").unwrap();
+        writeln!(s, "      \"traffic_total\": {},", r.traffic_total).unwrap();
+        writeln!(s, "      \"work_total\": {},", r.work_total).unwrap();
+        writeln!(
+            s,
+            "      \"speedup_block_parallel_over_element\": {:.2}",
+            r.speedup_block_parallel
+        )
+        .unwrap();
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        writeln!(s, "    }}{comma}").unwrap();
+    }
+    writeln!(s, "  ]").unwrap();
+    writeln!(s, "}}").unwrap();
+    s
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_pipeline.json".to_string());
+
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse::<usize>().ok())
+    };
+    // The large grid runs at a production-style grain: with tiny grain-4
+    // units the analytic engine degenerates to near-element granularity.
+    let large_grain = flag("--grain").unwrap_or(25);
+
+    let (matrices, large_grid, nprocs) = if smoke {
+        // One tiny grid: fast enough for CI schema validation.
+        (vec![paper::lap_grid(12)], "LAP12".to_string(), 4)
+    } else if let Some(side) = flag("--side") {
+        // Single-grid exploration mode.
+        let big = paper::lap_grid(side);
+        let name = big.name.to_string();
+        (vec![big], name, 16)
+    } else {
+        let mut ms = paper::all();
+        // The large-grid stressor: 9-point Laplacian on a 200x200 grid
+        // (40 000 columns), far beyond the paper's <=1138-column inputs.
+        let big = paper::lap_grid(200);
+        let big_name = big.name.to_string();
+        ms.push(big);
+        (ms, big_name, 16)
+    };
+
+    let mut results = Vec::new();
+    for m in &matrices {
+        eprintln!("benchmarking {} (n = {})...", m.name, m.pattern.n());
+        let grain = if m.name == large_grid { large_grain } else { 4 };
+        results.push(bench_matrix(m, nprocs, grain));
+    }
+
+    let mode = if smoke { "smoke" } else { "full" };
+    let doc = json_document(mode, &large_grid, &results);
+    std::fs::write(&out_path, &doc).expect("write bench JSON");
+
+    for r in &results {
+        let sim: String = r
+            .simulate_ms
+            .iter()
+            .map(|(n, ms)| format!("{n} {ms:.2}ms"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        println!(
+            "{:>10}  n={:<7} simulate: {}  (speedup {:.1}x)",
+            r.name, r.n, sim, r.speedup_block_parallel
+        );
+    }
+    println!("wrote {out_path}");
+}

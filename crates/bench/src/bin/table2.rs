@@ -24,7 +24,7 @@ fn main() {
         let g4 = run_block(m, 4, 4, row.nprocs);
         let g25 = run_block(m, 25, 4, row.nprocs);
         println!(
-            "{:>9} {:>3} | {:>8} {:>8} {:>6} | {:>8} {:>8} {:>6} | {:>7} {:>7}",
+            "{:>9} {:>3} | {:>8} {:>8} {:>6} | {:>8} {:>8} {:>6} | {:>7.1} {:>7.1}",
             row.matrix,
             row.nprocs,
             row.total_g4,
@@ -33,8 +33,8 @@ fn main() {
             row.total_g25,
             g25.traffic.total,
             rel(g25.traffic.total as f64, row.total_g25 as f64),
-            g4.traffic.mean(),
-            g25.traffic.mean(),
+            g4.traffic.mean_f64(),
+            g25.traffic.mean_f64(),
         );
     }
     println!();

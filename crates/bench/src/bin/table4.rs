@@ -14,14 +14,14 @@ fn main() {
     for row in &paper::TABLE4 {
         let r = run_block(&m, 4, row.width, row.nprocs);
         println!(
-            "{:>5} {:>3} | {:>8} {:>8} {:>6} | {:>7} {:>7} | {:>7.2} {:>7.2}",
+            "{:>5} {:>3} | {:>8} {:>8} {:>6} | {:>7} {:>7.1} | {:>7.2} {:>7.2}",
             row.width,
             row.nprocs,
             row.total,
             r.traffic.total,
             rel(r.traffic.total as f64, row.total as f64),
             row.mean,
-            r.traffic.mean(),
+            r.traffic.mean_f64(),
             row.delta,
             r.work.imbalance(),
         );

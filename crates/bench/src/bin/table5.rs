@@ -14,14 +14,14 @@ fn main() {
         let m = matrices.iter().find(|m| m.name == row.matrix).unwrap();
         let r = run_wrap(m, row.nprocs);
         println!(
-            "{:>9} {:>3} | {:>8} {:>8} {:>6} | {:>7} {:>7} | {:>8} {:>8.0} | {:>6.2} {:>6.2}",
+            "{:>9} {:>3} | {:>8} {:>8} {:>6} | {:>7} {:>7.1} | {:>8} {:>8.0} | {:>6.2} {:>6.2}",
             row.matrix,
             row.nprocs,
             row.total,
             r.traffic.total,
             rel(r.traffic.total as f64, row.total as f64),
             row.mean,
-            r.traffic.mean(),
+            r.traffic.mean_f64(),
             row.mean_work,
             r.work.mean(),
             row.delta,

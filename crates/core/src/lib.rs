@@ -72,7 +72,7 @@ pub use spfactor_mp::{MpReport, NetworkModel};
 pub use spfactor_order::Ordering;
 pub use spfactor_partition::{DepGraph, Partition, PartitionParams};
 pub use spfactor_sched::Assignment;
-pub use spfactor_simulate::{TrafficReport, WorkReport};
+pub use spfactor_simulate::{SimulateEngine, TrafficReport, WorkReport};
 pub use spfactor_symbolic::SymbolicFactor;
 
 /// Which mapping scheme the pipeline runs.
@@ -117,6 +117,7 @@ pub struct Pipeline {
     scheme: Scheme,
     nprocs: usize,
     execution: ExecutionBackend,
+    engine: SimulateEngine,
     recorder: Option<Arc<Recorder>>,
 }
 
@@ -132,6 +133,7 @@ impl Pipeline {
             scheme: Scheme::Block,
             nprocs: 4,
             execution: ExecutionBackend::Analytic,
+            engine: SimulateEngine::Element,
             recorder: None,
         }
     }
@@ -221,6 +223,29 @@ impl Pipeline {
         self
     }
 
+    /// Selects the simulation engine (default:
+    /// [`SimulateEngine::Element`], the per-element oracle). All engines
+    /// return bit-identical reports; `Block` / `BlockParallel` compute
+    /// them analytically from unit-block geometry and are orders of
+    /// magnitude faster on large problems — see `docs/PERFORMANCE.md`.
+    ///
+    /// ```
+    /// use spfactor::{Pipeline, SimulateEngine};
+    ///
+    /// let p = spfactor::matrix::gen::lap9(8, 8);
+    /// let slow = Pipeline::new(p.clone()).processors(4).run();
+    /// let fast = Pipeline::new(p)
+    ///     .processors(4)
+    ///     .engine(SimulateEngine::BlockParallel)
+    ///     .run();
+    /// assert_eq!(slow.traffic, fast.traffic);
+    /// assert_eq!(slow.work, fast.work);
+    /// ```
+    pub fn engine(mut self, e: SimulateEngine) -> Self {
+        self.engine = e;
+        self
+    }
+
     /// Runs all stages and returns the full set of artifacts and metrics.
     ///
     /// With a recorder attached (see [`Pipeline::with_recorder`]) each
@@ -274,7 +299,9 @@ impl Pipeline {
                     sched::block_allocation_traced(&partition, &deps, self.nprocs, r)
                 }
                 (Scheme::Block, None) => sched::block_allocation(&partition, &deps, self.nprocs),
-                (Scheme::Wrap, Some(r)) => sched::wrap_allocation_traced(&partition, self.nprocs, r),
+                (Scheme::Wrap, Some(r)) => {
+                    sched::wrap_allocation_traced(&partition, self.nprocs, r)
+                }
                 (Scheme::Wrap, None) => sched::wrap_allocation(&partition, self.nprocs),
             }
         };
@@ -282,14 +309,10 @@ impl Pipeline {
         let (traffic, work) = {
             let _phase = rec.map(|r| r.span("phase.simulate"));
             match rec {
-                Some(r) => (
-                    simulate::data_traffic_traced(&factor, &partition, &assignment, r),
-                    simulate::work_distribution_traced(&partition, &assignment, r),
-                ),
-                None => (
-                    simulate::data_traffic(&factor, &partition, &assignment),
-                    simulate::work_distribution(&partition, &assignment),
-                ),
+                Some(r) => {
+                    simulate::simulate_traced(self.engine, &factor, &partition, &assignment, r)
+                }
+                None => simulate::simulate(self.engine, &factor, &partition, &assignment),
             }
         };
 
@@ -397,6 +420,17 @@ mod tests {
         assert_eq!(exec.work_report(), r.work);
         assert!(exec.estimated_time > 0.0);
         assert_eq!(exec.factor.n(), r.factor.n());
+    }
+
+    #[test]
+    fn engine_selector_changes_nothing_observable() {
+        let p = gen::lap9(9, 9);
+        let base = Pipeline::new(p.clone()).processors(6).run();
+        for e in [SimulateEngine::Block, SimulateEngine::BlockParallel] {
+            let r = Pipeline::new(p.clone()).processors(6).engine(e).run();
+            assert_eq!(r.traffic, base.traffic, "engine {e:?} traffic diverged");
+            assert_eq!(r.work, base.work, "engine {e:?} work diverged");
+        }
     }
 
     #[test]

@@ -76,6 +76,23 @@ pub fn lshp1009() -> TestMatrix {
     }
 }
 
+/// A scaled-up `LAP30`: the 9-point Laplacian on a `side × side` grid,
+/// named `LAP<side>`. This is the stress/bench family — `lap_grid(330)`
+/// already exceeds 10⁵ columns — generated on demand so large problems
+/// never ship as fixture files.
+///
+/// The name string is interned with [`Box::leak`] to fit the `'static`
+/// descriptor type; callers are expected to construct each size once per
+/// process (benches, stress tests), not in a loop.
+pub fn lap_grid(side: usize) -> TestMatrix {
+    assert!(side >= 2, "grid side must be at least 2");
+    TestMatrix {
+        name: Box::leak(format!("LAP{side}").into_boxed_str()),
+        description: "9-point Laplacian grid (scaled LAP30 family)",
+        pattern: lap9(side, side),
+    }
+}
+
 /// The Figure 2 example: 5-point finite-element 5×5 grid, 41 unknowns.
 pub fn fig2_grid() -> TestMatrix {
     TestMatrix {
@@ -149,5 +166,15 @@ mod tests {
     fn constructors_are_deterministic() {
         assert_eq!(bus1138().pattern, bus1138().pattern);
         assert_eq!(cann1072().pattern, cann1072().pattern);
+    }
+
+    #[test]
+    fn lap_grid_scales_the_lap30_family() {
+        let m = lap_grid(30);
+        assert_eq!(m.name, "LAP30");
+        assert_eq!(m.pattern, lap30().pattern);
+        let big = lap_grid(320);
+        assert_eq!(big.name, "LAP320");
+        assert_eq!(big.pattern.n(), 320 * 320); // > 10^5 columns
     }
 }

@@ -532,7 +532,8 @@ RSA                        3             3             5             0
         // significant digits of (3E25.16) exactly.
         let mut coo = Coo::new(10);
         for j in 0..10usize {
-            coo.push(j, j, (1.0 + j as f64 * 0.37).sqrt() * 1e8).unwrap();
+            coo.push(j, j, (1.0 + j as f64 * 0.37).sqrt() * 1e8)
+                .unwrap();
             if j + 3 < 10 {
                 coo.push(j + 3, j, -(j as f64 + 0.1) / 7.0 * 1e-9).unwrap();
             }

@@ -693,7 +693,10 @@ mod tests {
     fn cache_discipline_fetches_each_element_once() {
         let (a, f, part, deps, assign) = setup_wrap(&gen::lap9(10, 10), 4, 9);
         let report = check(&a, &f, &part, &deps, &assign);
-        assert!(report.cache_hits_total() > 0, "expected repeated remote use");
+        assert!(
+            report.cache_hits_total() > 0,
+            "expected repeated remote use"
+        );
         // Reply payloads across the machine carry exactly the distinct
         // fetched elements: one reply element per unit of traffic.
         let served: usize = report.per_proc.iter().map(|s| s.elements_served).sum();

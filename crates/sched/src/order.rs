@@ -105,8 +105,8 @@ mod tests {
         // update sub-triangles (lower ids), so ascending-id execution
         // would violate an edge on any strip-bearing partition.
         let (part, deps) = setup(4);
-        let backwards = (0..part.num_units())
-            .any(|u| deps.preds(u).iter().any(|&s| s as usize > u));
+        let backwards =
+            (0..part.num_units()).any(|u| deps.preds(u).iter().any(|&s| s as usize > u));
         assert!(backwards, "expected at least one higher-id predecessor");
     }
 

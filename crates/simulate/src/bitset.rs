@@ -1,0 +1,58 @@
+//! Dense bitset shared by the simulation engines.
+//!
+//! Both the data-traffic oracle and the timed simulator need
+//! "fetch-once-and-cache" semantics: the first time a processor touches a
+//! remote element counts, every later touch is free. A dense `u64`-word
+//! bitset keyed by factor entry id is the fastest structure for that test
+//! (entry ids are dense in `0..num_entries`), so it lives here as the
+//! crate-internal workhorse rather than as a private helper of one module.
+
+/// Simple dense bitset over `0..bits`.
+pub(crate) struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// An empty set with capacity for `bits` members.
+    pub(crate) fn new(bits: usize) -> Self {
+        BitSet {
+            words: vec![0; bits.div_ceil(64)],
+        }
+    }
+
+    /// Sets the bit; returns `true` if it was previously clear.
+    #[inline]
+    pub(crate) fn insert(&mut self, i: usize) -> bool {
+        let (w, b) = (i / 64, i % 64);
+        let mask = 1u64 << b;
+        let was = self.words[w] & mask;
+        self.words[w] |= mask;
+        was == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_semantics() {
+        let mut b = BitSet::new(130);
+        assert!(b.insert(0));
+        assert!(!b.insert(0));
+        assert!(b.insert(64));
+        assert!(b.insert(129));
+        assert!(!b.insert(129));
+    }
+
+    #[test]
+    fn repeated_inserts_stay_idempotent() {
+        let mut b = BitSet::new(200);
+        for i in [5usize, 63, 64, 127, 199] {
+            assert!(b.insert(i), "first insert of {i}");
+        }
+        for i in [5usize, 63, 64, 127, 199] {
+            assert!(!b.insert(i), "second insert of {i}");
+        }
+    }
+}

@@ -1,0 +1,785 @@
+//! Fast simulation engines: block-closed-form and multi-threaded drivers.
+//!
+//! The per-element oracle in the crate root replays every update
+//! operation — `O(Σ_k c_k²)` bitset touches — which is exact but far too
+//! slow for production-scale matrices. This module computes the *same*
+//! [`TrafficReport`] and [`WorkReport`] analytically, reasoning at
+//! unit-block granularity with interval algebra (the supernodal/block
+//! principle of Ng & Peyton and Rothberg & Gupta applied to the paper's
+//! simulation method).
+//!
+//! # Why a closed form exists
+//!
+//! Both paper metrics decompose exactly by source column:
+//!
+//! * a strict-lower entry `(r, k)` is read **only** by the outer-product
+//!   updates of column `k`, so "distinct remote elements fetched" can be
+//!   tallied per column with no cross-column deduplication;
+//! * a diagonal entry `(j, j)` is read **only** by the scalings of
+//!   column `j`.
+//!
+//! For source column `k` with row set `S = rows(k)`, the update targets
+//! form the lower-triangle clique on `S` (the fill lemma guarantees every
+//! such `(i, j)` is a factor entry). A unit block with row extent `R` and
+//! column extent `C` therefore owns exactly `|S∩R| · |S∩C|` of those
+//! targets (triangles: `m(m+1)/2` with `m = |S∩E|`), and the source rows
+//! its processor reads are `(S∩R) ∪ (S∩C)` — all computable from the
+//! interval runs of `S` without visiting a single element. Per-processor
+//! distinct counts are interval-set unions; attribution to owning
+//! processors walks the union against the ownership segments of column
+//! `k`. Work units fall out of the same sweep (2 per clique target, 1 per
+//! strict-lower entry scaled).
+//!
+//! # Parallelism and determinism
+//!
+//! Because the tally is independent per source column, the
+//! [`SimulateEngine::BlockParallel`] driver partitions columns across
+//! crossbeam scoped worker threads (the same harness as
+//! `spfactor-numeric`'s parallel executor), each accumulating a private
+//! `Partial`, and merges them by elementwise addition — associative and
+//! commutative over integers, so the reports are bit-identical to the
+//! serial engines for every thread count.
+
+use crate::{data_traffic, data_traffic_traced, work_distribution, work_distribution_traced};
+use crate::{TrafficReport, WorkReport};
+use spfactor_interval::Interval;
+use spfactor_partition::{Partition, UnitBlock, UnitShape};
+use spfactor_sched::Assignment;
+use spfactor_symbolic::SymbolicFactor;
+use spfactor_trace::Recorder;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Which implementation computes the traffic and work reports.
+///
+/// All three produce **bit-identical** [`TrafficReport`]/[`WorkReport`]s
+/// (pinned by `tests/engine_equivalence.rs`); they differ only in cost:
+///
+/// | Engine | Complexity | Threads |
+/// |---|---|---|
+/// | `Element` | `O(Σ_k c_k²)` element touches | 1 |
+/// | `Block` | `O(Σ_k (runs(S_k) + units touched))` interval ops | 1 |
+/// | `BlockParallel` | as `Block` | `available_parallelism` |
+///
+/// `Element` is the oracle — the direct transcription of the paper's §4
+/// method — and stays the pipeline-level default. Use `Block` or
+/// `BlockParallel` for large problems; `docs/PERFORMANCE.md` has measured
+/// crossover points.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SimulateEngine {
+    /// Per-element replay of every update operation (the oracle).
+    #[default]
+    Element,
+    /// Block-closed-form interval sweep, single-threaded.
+    Block,
+    /// Block-closed-form sweep fanned out over worker threads.
+    BlockParallel,
+}
+
+impl SimulateEngine {
+    /// Stable lowercase name used in metrics and the bench JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SimulateEngine::Element => "element",
+            SimulateEngine::Block => "block",
+            SimulateEngine::BlockParallel => "block_parallel",
+        }
+    }
+}
+
+/// Runs the selected engine, returning the paper's two reports.
+pub fn simulate(
+    engine: SimulateEngine,
+    factor: &SymbolicFactor,
+    partition: &Partition,
+    assignment: &Assignment,
+) -> (TrafficReport, WorkReport) {
+    match engine {
+        SimulateEngine::Element => (
+            data_traffic(factor, partition, assignment),
+            work_distribution(partition, assignment),
+        ),
+        SimulateEngine::Block => block_reports(factor, partition, assignment, 1, None),
+        SimulateEngine::BlockParallel => {
+            block_reports(factor, partition, assignment, default_threads(), None)
+        }
+    }
+}
+
+/// [`simulate`] with instrumentation. The element engine emits its
+/// historical `simulate.data_traffic` / `simulate.work_distribution`
+/// surface; the block engines run under the spans
+/// `simulate.engine.block` / `simulate.engine.block_parallel` and emit
+/// the `simulate.engine.*` counters (see `docs/METRICS.md`). All engines
+/// record the shared `simulate.traffic.*` / `simulate.work.*` gauges.
+pub fn simulate_traced(
+    engine: SimulateEngine,
+    factor: &SymbolicFactor,
+    partition: &Partition,
+    assignment: &Assignment,
+    recorder: &Recorder,
+) -> (TrafficReport, WorkReport) {
+    match engine {
+        SimulateEngine::Element => (
+            data_traffic_traced(factor, partition, assignment, recorder),
+            work_distribution_traced(partition, assignment, recorder),
+        ),
+        SimulateEngine::Block | SimulateEngine::BlockParallel => {
+            let threads = if engine == SimulateEngine::Block {
+                1
+            } else {
+                default_threads()
+            };
+            let span = format!("simulate.engine.{}", engine.name());
+            let (traffic, work) = recorder.time(&span, || {
+                block_reports(factor, partition, assignment, threads, Some(recorder))
+            });
+            recorder.gauge("simulate.engine.threads", threads as f64);
+            recorder.gauge("simulate.traffic.total", traffic.total as f64);
+            recorder.gauge("simulate.traffic.mean", traffic.mean_f64());
+            recorder.gauge("simulate.traffic.max_pair", traffic.max_pair() as f64);
+            recorder.gauge("simulate.work.total", work.total as f64);
+            recorder.gauge("simulate.work.max", work.max() as f64);
+            recorder.gauge("simulate.work.imbalance", work.imbalance());
+            recorder.gauge("simulate.work.efficiency", work.efficiency());
+            (traffic, work)
+        }
+    }
+}
+
+/// Worker threads for [`SimulateEngine::BlockParallel`].
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Immutable lookup tables shared by every worker thread.
+struct Plan<'a> {
+    factor: &'a SymbolicFactor,
+    /// `owner[entry_id] = unit id`.
+    owner: &'a [u32],
+    /// `proc_of_unit[unit] = processor`.
+    proc_of_unit: &'a [u32],
+    units: &'a [UnitBlock],
+    /// Column → cluster id (clusters tile the columns).
+    col_cluster: Vec<u32>,
+    /// Cluster → `[start, end)` range into `units` (scan order).
+    unit_range: Vec<(u32, u32)>,
+    /// `col_base[k]` — entry id of the first strict-lower entry of
+    /// column `k` (ids are contiguous per column, row-ascending).
+    col_base: Vec<usize>,
+    nprocs: usize,
+}
+
+impl<'a> Plan<'a> {
+    fn new(
+        factor: &'a SymbolicFactor,
+        partition: &'a Partition,
+        assignment: &'a Assignment,
+    ) -> Self {
+        let n = factor.n();
+        let mut col_cluster = vec![0u32; n];
+        for cl in &partition.clusters {
+            for slot in &mut col_cluster[cl.cols.lo..=cl.cols.hi] {
+                *slot = cl.id as u32;
+            }
+        }
+        let mut unit_range = vec![(0u32, 0u32); partition.clusters.len()];
+        for u in &partition.units {
+            let r = &mut unit_range[u.cluster];
+            if r.1 == 0 {
+                *r = (u.id as u32, u.id as u32 + 1);
+            } else {
+                r.1 = u.id as u32 + 1;
+            }
+        }
+        let mut col_base = Vec::with_capacity(n + 1);
+        let mut acc = n;
+        for j in 0..n {
+            col_base.push(acc);
+            acc += factor.col_count(j);
+        }
+        col_base.push(acc);
+        Plan {
+            factor,
+            owner: partition.owner_map(),
+            proc_of_unit: &assignment.proc_of_unit,
+            units: &partition.units,
+            col_cluster,
+            unit_range,
+            col_base,
+            nprocs: assignment.nprocs,
+        }
+    }
+
+    #[inline]
+    fn proc_of_entry(&self, eid: usize) -> u32 {
+        self.proc_of_unit[self.owner[eid] as usize]
+    }
+}
+
+/// Per-thread tallies; merged by elementwise addition (deterministic).
+struct Partial {
+    per_proc: Vec<usize>,
+    pair: Vec<usize>,
+    /// Work per unit under the paper's cost model.
+    work_unit: Vec<usize>,
+    columns: u64,
+    unit_visits: u64,
+    pieces: u64,
+}
+
+impl Partial {
+    fn new(nprocs: usize, nunits: usize) -> Self {
+        Partial {
+            per_proc: vec![0; nprocs],
+            pair: vec![0; nprocs * nprocs],
+            work_unit: vec![0; nunits],
+            columns: 0,
+            unit_visits: 0,
+            pieces: 0,
+        }
+    }
+
+    fn absorb(&mut self, other: &Partial) {
+        for (a, b) in self.per_proc.iter_mut().zip(&other.per_proc) {
+            *a += b;
+        }
+        for (a, b) in self.pair.iter_mut().zip(&other.pair) {
+            *a += b;
+        }
+        for (a, b) in self.work_unit.iter_mut().zip(&other.work_unit) {
+            *a += b;
+        }
+        self.columns += other.columns;
+        self.unit_visits += other.unit_visits;
+        self.pieces += other.pieces;
+    }
+}
+
+/// Reusable per-thread scratch buffers.
+struct Scratch {
+    /// Maximal runs of the current source column's row set.
+    runs: Vec<Interval>,
+    /// Ownership segments of the current column: `(row span, proc)`.
+    segs: Vec<(Interval, u32)>,
+    /// Read-set pieces collected per processor this column.
+    pieces: Vec<Vec<Interval>>,
+    /// Per-processor lowest column-unit column touched (suffix-union
+    /// shortcut for wrap-style partitions); `usize::MAX` = none.
+    col_min: Vec<usize>,
+    /// Processors with pieces or `col_min` set this column.
+    dirty: Vec<u32>,
+    /// Per-processor stamp for diagonal-read deduplication.
+    stamp: Vec<usize>,
+    /// Merge buffer for the union sweep.
+    merged: Vec<Interval>,
+}
+
+impl Scratch {
+    fn new(nprocs: usize) -> Self {
+        Scratch {
+            runs: Vec::new(),
+            segs: Vec::new(),
+            pieces: (0..nprocs).map(|_| Vec::new()).collect(),
+            col_min: vec![usize::MAX; nprocs],
+            dirty: Vec::new(),
+            stamp: vec![usize::MAX; nprocs],
+            merged: Vec::new(),
+        }
+    }
+}
+
+/// Appends `runs ∩ iv` to `out`; returns the number of integers added.
+#[inline]
+fn intersect_append(runs: &[Interval], iv: Interval, out: &mut Vec<Interval>) -> usize {
+    let mut count = 0usize;
+    let start = runs.partition_point(|r| r.hi < iv.lo);
+    for r in &runs[start..] {
+        if r.lo > iv.hi {
+            break;
+        }
+        let lo = r.lo.max(iv.lo);
+        let hi = r.hi.min(iv.hi);
+        count += hi - lo + 1;
+        out.push(Interval { lo, hi });
+    }
+    count
+}
+
+/// Number of integers in `runs ∩ iv` without materializing them.
+#[inline]
+fn intersect_count(runs: &[Interval], iv: Interval) -> usize {
+    let mut count = 0usize;
+    let start = runs.partition_point(|r| r.hi < iv.lo);
+    for r in &runs[start..] {
+        if r.lo > iv.hi {
+            break;
+        }
+        count += r.hi.min(iv.hi) - r.lo.max(iv.lo) + 1;
+    }
+    count
+}
+
+/// Processes source column `k`: scaling work + diagonal traffic for the
+/// column, then the update clique over its row set.
+fn process_column(plan: &Plan<'_>, k: usize, scratch: &mut Scratch, out: &mut Partial) {
+    let rows = plan.factor.col(k);
+    out.columns += 1;
+    if rows.is_empty() {
+        return;
+    }
+    let np = plan.nprocs;
+    let base = plan.col_base[k];
+    // Split the scratch borrows so the buffers can be used together.
+    let Scratch {
+        runs,
+        segs,
+        pieces,
+        col_min,
+        dirty,
+        stamp,
+        merged,
+    } = scratch;
+
+    // --- Ownership segments of column k + scaling work (1 unit per
+    // strict-lower entry, charged to its owning unit). ---
+    segs.clear();
+    {
+        let mut start = 0usize;
+        let mut cur = plan.proc_of_entry(base);
+        out.work_unit[plan.owner[base] as usize] += 1;
+        for off in 1..rows.len() {
+            let eid = base + off;
+            out.work_unit[plan.owner[eid] as usize] += 1;
+            let p = plan.proc_of_entry(eid);
+            if p != cur {
+                segs.push((Interval::new(rows[start], rows[off - 1]), cur));
+                start = off;
+                cur = p;
+            }
+        }
+        segs.push((Interval::new(rows[start], rows[rows.len() - 1]), cur));
+    }
+
+    // --- Diagonal reads: every processor owning a strict-lower entry of
+    // column k fetches (k, k) once. ---
+    {
+        let q = plan.proc_of_entry(k); // diagonal entry id is k
+        for &(_, p) in segs.iter() {
+            let p = p as usize;
+            if p as u32 != q && stamp[p] != k {
+                stamp[p] = k;
+                out.per_proc[p] += 1;
+                out.pair[q as usize * np + p] += 1;
+            }
+        }
+    }
+
+    // --- Maximal runs of the row set of column k. ---
+    runs.clear();
+    {
+        let mut lo = rows[0];
+        let mut hi = rows[0];
+        for &r in &rows[1..] {
+            if r == hi + 1 {
+                hi = r;
+            } else {
+                runs.push(Interval { lo, hi });
+                lo = r;
+                hi = r;
+            }
+        }
+        runs.push(Interval { lo, hi });
+    }
+
+    // --- Update clique sweep: visit every unit of every cluster whose
+    // column range meets the row set. ---
+    let mut last_cluster = u32::MAX;
+    for ri in 0..runs.len() {
+        let run = runs[ri];
+        let mut cid = plan.col_cluster[run.lo];
+        if last_cluster != u32::MAX && cid <= last_cluster {
+            cid = last_cluster + 1;
+        }
+        let cid_hi = plan.col_cluster[run.hi];
+        while cid <= cid_hi {
+            last_cluster = cid;
+            let (us, ue) = plan.unit_range[cid as usize];
+            for u in us..ue {
+                out.unit_visits += 1;
+                let u = u as usize;
+                let p = plan.proc_of_unit[u] as usize;
+                match plan.units[u].shape {
+                    UnitShape::Column { col } => {
+                        // A column unit has targets only when its column
+                        // is in the row set; its read set is the suffix
+                        // S ∩ [col, ∞), so per processor only the lowest
+                        // such column matters.
+                        let pos = rows.partition_point(|&r| r < col);
+                        if pos < rows.len() && rows[pos] == col {
+                            let m = rows.len() - pos;
+                            out.work_unit[u] += 2 * m;
+                            if col_min[p] == usize::MAX && pieces[p].is_empty() {
+                                dirty.push(p as u32);
+                            }
+                            if col < col_min[p] {
+                                col_min[p] = col;
+                            }
+                        }
+                    }
+                    UnitShape::Triangle { extent } => {
+                        let before = pieces[p].len();
+                        let m = intersect_append(runs, extent, &mut pieces[p]);
+                        if m > 0 {
+                            out.work_unit[u] += m * (m + 1);
+                            out.pieces += (pieces[p].len() - before) as u64;
+                            if before == 0 && col_min[p] == usize::MAX {
+                                dirty.push(p as u32);
+                            }
+                        }
+                    }
+                    UnitShape::Rectangle { cols, rows: rrows } => {
+                        let mc = intersect_count(runs, cols);
+                        if mc == 0 {
+                            continue;
+                        }
+                        let mr = intersect_count(runs, rrows);
+                        if mr == 0 {
+                            continue;
+                        }
+                        out.work_unit[u] += 2 * mc * mr;
+                        let before = pieces[p].len();
+                        intersect_append(runs, cols, &mut pieces[p]);
+                        intersect_append(runs, rrows, &mut pieces[p]);
+                        out.pieces += (pieces[p].len() - before) as u64;
+                        if before == 0 && col_min[p] == usize::MAX {
+                            dirty.push(p as u32);
+                        }
+                    }
+                }
+            }
+            cid += 1;
+        }
+    }
+
+    // --- Per-processor union + attribution against the ownership
+    // segments of column k. ---
+    for &p in dirty.iter() {
+        let p = p as usize;
+        let mut buf = std::mem::take(&mut pieces[p]);
+        if col_min[p] != usize::MAX {
+            // The union of the suffixes S ∩ [c, ∞) over this processor's
+            // column units is the suffix from the lowest such c; c ∈ S
+            // guarantees the interval is non-empty.
+            let suffix = Interval {
+                lo: col_min[p],
+                hi: rows[rows.len() - 1],
+            };
+            intersect_append(runs, suffix, &mut buf);
+            col_min[p] = usize::MAX;
+        }
+        buf.sort_unstable_by_key(|iv| iv.lo);
+        // Merge. Pieces are sub-runs of S, so overlapping or adjacent
+        // pieces always lie inside one maximal run of S and the merged
+        // interval still contains only members of S.
+        merged.clear();
+        for iv in buf.drain(..) {
+            match merged.last_mut() {
+                Some(last) if iv.lo <= last.hi + 1 => {
+                    if iv.hi > last.hi {
+                        last.hi = iv.hi;
+                    }
+                }
+                _ => merged.push(iv),
+            }
+        }
+        pieces[p] = buf; // hand the drained allocation back
+                         // Attribute each union element to the processor owning it in
+                         // column k; remote elements count one unit of traffic.
+        let mut si = 0usize;
+        for &m in merged.iter() {
+            while si < segs.len() && segs[si].0.hi < m.lo {
+                si += 1;
+            }
+            let mut sj = si;
+            while sj < segs.len() && segs[sj].0.lo <= m.hi {
+                let seg = segs[sj];
+                let lo = seg.0.lo.max(m.lo);
+                let hi = seg.0.hi.min(m.hi);
+                debug_assert!(lo <= hi);
+                let q = seg.1 as usize;
+                if q != p {
+                    let c = hi - lo + 1;
+                    out.per_proc[p] += c;
+                    out.pair[q * np + p] += c;
+                }
+                if seg.0.hi <= m.hi {
+                    sj += 1;
+                } else {
+                    break;
+                }
+            }
+            si = sj;
+        }
+    }
+    dirty.clear();
+}
+
+/// Block-closed-form computation of both reports, fanned out over
+/// `nthreads` workers (1 = serial). Bit-identical to the element oracle
+/// for every thread count.
+fn block_reports(
+    factor: &SymbolicFactor,
+    partition: &Partition,
+    assignment: &Assignment,
+    nthreads: usize,
+    recorder: Option<&Recorder>,
+) -> (TrafficReport, WorkReport) {
+    let n = factor.n();
+    let nprocs = assignment.nprocs;
+    let nunits = partition.num_units();
+    let plan = Plan::new(factor, partition, assignment);
+    let nthreads = nthreads.clamp(1, n.max(1));
+
+    let total_partial = if nthreads <= 1 || n == 0 {
+        let mut scratch = Scratch::new(nprocs);
+        let mut out = Partial::new(nprocs, nunits);
+        for k in 0..n {
+            process_column(&plan, k, &mut scratch, &mut out);
+        }
+        out
+    } else {
+        // Dynamic chunks keep the load balanced (column costs are
+        // skewed); partials are summed in thread spawn order, and integer
+        // addition commutes, so the result does not depend on the actual
+        // interleaving.
+        let chunk = (n / (nthreads * 8)).clamp(16, 2048);
+        let next = AtomicUsize::new(0);
+        let plan_ref = &plan;
+        let partials: Vec<Partial> = crossbeam::scope(|s| {
+            let handles: Vec<_> = (0..nthreads)
+                .map(|_| {
+                    let next = &next;
+                    s.spawn(move |_| {
+                        let mut scratch = Scratch::new(nprocs);
+                        let mut out = Partial::new(nprocs, nunits);
+                        loop {
+                            let start = next.fetch_add(chunk, Ordering::Relaxed);
+                            if start >= n {
+                                break;
+                            }
+                            for k in start..(start + chunk).min(n) {
+                                process_column(plan_ref, k, &mut scratch, &mut out);
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("simulate worker panicked"))
+                .collect()
+        })
+        .expect("simulate scope panicked");
+        let mut total = Partial::new(nprocs, nunits);
+        for p in &partials {
+            total.absorb(p);
+        }
+        total
+    };
+
+    if let Some(rec) = recorder {
+        rec.incr("simulate.engine.columns", total_partial.columns);
+        rec.incr("simulate.engine.unit_visits", total_partial.unit_visits);
+        rec.incr("simulate.engine.interval_pieces", total_partial.pieces);
+    }
+
+    // The analytic per-unit work must agree with the enumeration-based
+    // tallies stored on the partition (cross-checked in tests too).
+    debug_assert!(
+        total_partial
+            .work_unit
+            .iter()
+            .zip(partition.units.iter())
+            .all(|(w, u)| *w == u.work),
+        "analytic work diverged from enumerated unit work"
+    );
+
+    let mut work_per_proc = vec![0usize; nprocs];
+    for (u, w) in total_partial.work_unit.iter().enumerate() {
+        work_per_proc[assignment.proc_of(u)] += w;
+    }
+    let traffic = TrafficReport {
+        total: total_partial.per_proc.iter().sum(),
+        per_proc: total_partial.per_proc,
+        pair_matrix: total_partial.pair,
+        nprocs,
+    };
+    let work = WorkReport {
+        total: work_per_proc.iter().sum(),
+        per_proc: work_per_proc,
+    };
+    (traffic, work)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spfactor_matrix::{gen, SymmetricPattern};
+    use spfactor_order::{order, Ordering as Ord};
+    use spfactor_partition::{dependencies, PartitionParams};
+    use spfactor_sched::{block_allocation, wrap_allocation};
+
+    fn factor_of(p: &SymmetricPattern) -> SymbolicFactor {
+        let perm = order(p, Ord::paper_default());
+        SymbolicFactor::from_pattern(&p.permute(&perm))
+    }
+
+    fn assert_engines_agree(f: &SymbolicFactor, part: &Partition, a: &Assignment) {
+        let (te, we) = simulate(SimulateEngine::Element, f, part, a);
+        let (tb, wb) = simulate(SimulateEngine::Block, f, part, a);
+        assert_eq!(te, tb, "block traffic diverged from element oracle");
+        assert_eq!(we, wb, "block work diverged from element oracle");
+        let (tp, wp) = block_reports(f, part, a, 4, None);
+        assert_eq!(te, tp, "parallel traffic diverged");
+        assert_eq!(we, wp, "parallel work diverged");
+    }
+
+    #[test]
+    fn engines_agree_on_block_partition() {
+        let p = gen::lap9(12, 12);
+        let f = factor_of(&p);
+        for grain in [1, 4, 25] {
+            let part = Partition::build(&f, &PartitionParams::with_grain(grain));
+            let deps = dependencies(&f, &part);
+            for np in [1, 2, 7, 16] {
+                let a = block_allocation(&part, &deps, np);
+                assert_engines_agree(&f, &part, &a);
+            }
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_wrap_partition() {
+        let p = gen::lap9(11, 13);
+        let f = factor_of(&p);
+        let part = Partition::columns(&f);
+        for np in [1, 3, 8, 32] {
+            let a = wrap_allocation(&part, np);
+            assert_engines_agree(&f, &part, &a);
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_dense_tail() {
+        // Fully dense factor: one big strip cluster exercising triangles
+        // and interior rectangles.
+        let mut e = Vec::new();
+        for a in 0..12usize {
+            for b in (a + 1)..12 {
+                e.push((b, a));
+            }
+        }
+        let p = SymmetricPattern::from_edges(12, e);
+        let f = SymbolicFactor::from_pattern(&p);
+        let mut params = PartitionParams::with_grain(4);
+        params.min_cluster_width = 2;
+        let part = Partition::build(&f, &params);
+        let deps = dependencies(&f, &part);
+        let a = block_allocation(&part, &deps, 5);
+        assert_engines_agree(&f, &part, &a);
+    }
+
+    #[test]
+    fn engines_agree_with_relaxed_zeros() {
+        // relax_zeros admits structural zeros inside "dense" blocks; the
+        // closed form must not assume full density.
+        let p = gen::grid5(9, 9);
+        let f = factor_of(&p);
+        for relax in [1, 3] {
+            let params = PartitionParams {
+                grain_triangle: 4,
+                grain_rectangle: 4,
+                min_cluster_width: 3,
+                relax_zeros: relax,
+            };
+            let part = Partition::build(&f, &params);
+            let deps = dependencies(&f, &part);
+            let a = block_allocation(&part, &deps, 6);
+            assert_engines_agree(&f, &part, &a);
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_all_paper_matrices() {
+        for m in gen::paper::all() {
+            let f = factor_of(&m.pattern);
+            let part = Partition::build(&f, &PartitionParams::with_grain(4));
+            let deps = dependencies(&f, &part);
+            let a = block_allocation(&part, &deps, 16);
+            assert_engines_agree(&f, &part, &a);
+        }
+    }
+
+    #[test]
+    fn tiny_and_empty_factors() {
+        let f = SymbolicFactor::from_pattern(&SymmetricPattern::from_edges(0, []));
+        let part = Partition::columns(&f);
+        let a = wrap_allocation(&part, 3);
+        let (t, w) = simulate(SimulateEngine::BlockParallel, &f, &part, &a);
+        assert_eq!(t.total, 0);
+        assert_eq!(w.total, 0);
+
+        let f = SymbolicFactor::from_pattern(&SymmetricPattern::from_edges(2, [(1, 0)]));
+        let part = Partition::columns(&f);
+        let a = wrap_allocation(&part, 2);
+        assert_engines_agree(&f, &part, &a);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_reports() {
+        let p = gen::lap9(10, 10);
+        let f = factor_of(&p);
+        let part = Partition::build(&f, &PartitionParams::with_grain(4));
+        let deps = dependencies(&f, &part);
+        let a = block_allocation(&part, &deps, 8);
+        let (t1, w1) = block_reports(&f, &part, &a, 1, None);
+        for threads in [2, 3, 5, 13] {
+            let (t, w) = block_reports(&f, &part, &a, threads, None);
+            assert_eq!(t, t1);
+            assert_eq!(w, w1);
+        }
+    }
+
+    #[test]
+    fn engine_names_are_stable() {
+        assert_eq!(SimulateEngine::Element.name(), "element");
+        assert_eq!(SimulateEngine::Block.name(), "block");
+        assert_eq!(SimulateEngine::BlockParallel.name(), "block_parallel");
+        assert_eq!(SimulateEngine::default(), SimulateEngine::Element);
+    }
+
+    #[test]
+    fn traced_block_engine_emits_metrics() {
+        let p = gen::lap9(8, 8);
+        let f = factor_of(&p);
+        let part = Partition::build(&f, &PartitionParams::with_grain(4));
+        let deps = dependencies(&f, &part);
+        let a = block_allocation(&part, &deps, 4);
+        let rec = Recorder::new();
+        let (t, w) = simulate_traced(SimulateEngine::Block, &f, &part, &a, &rec);
+        if rec.is_enabled() {
+            assert_eq!(rec.counter("simulate.engine.columns"), f.n() as u64);
+            assert!(rec.counter("simulate.engine.unit_visits") > 0);
+            assert_eq!(
+                rec.gauge_value("simulate.traffic.total"),
+                Some(t.total as f64)
+            );
+            assert_eq!(rec.gauge_value("simulate.work.total"), Some(w.total as f64));
+            assert_eq!(rec.gauge_value("simulate.engine.threads"), Some(1.0));
+            assert!(rec.span_stats("simulate.engine.block").is_some());
+        }
+    }
+}

@@ -20,10 +20,15 @@
 //! dependency delays") — useful to check that the allocation provides
 //! enough parallelism to keep idle time low.
 
+mod bitset;
 pub mod consolidate;
+pub mod engine;
 pub mod timed;
 pub mod trisolve;
 
+pub use engine::{simulate, simulate_traced, SimulateEngine};
+
+use bitset::BitSet;
 use spfactor_partition::Partition;
 use spfactor_sched::Assignment;
 use spfactor_symbolic::{ops, SymbolicFactor};
@@ -45,9 +50,20 @@ pub struct TrafficReport {
 }
 
 impl TrafficReport {
-    /// Mean traffic per processor (the paper's "Mean" column).
+    /// Mean traffic per processor (the paper's "Mean" column), truncated
+    /// to an integer. Kept for table-compatible output; prefer
+    /// [`mean_f64`](Self::mean_f64) where rounding down matters.
     pub fn mean(&self) -> usize {
         self.total.checked_div(self.nprocs).unwrap_or(0)
+    }
+
+    /// Exact mean traffic per processor (no integer truncation).
+    pub fn mean_f64(&self) -> f64 {
+        if self.nprocs == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.nprocs as f64
+        }
     }
 
     /// Number of distinct communication partners of `p` (processors it
@@ -65,29 +81,6 @@ impl TrafficReport {
     /// The heaviest directed pair volume — a hot-spot indicator.
     pub fn max_pair(&self) -> usize {
         self.pair_matrix.iter().copied().max().unwrap_or(0)
-    }
-}
-
-/// Simple dense bitset.
-pub(crate) struct BitSet {
-    words: Vec<u64>,
-}
-
-impl BitSet {
-    pub(crate) fn new(bits: usize) -> Self {
-        BitSet {
-            words: vec![0; bits.div_ceil(64)],
-        }
-    }
-
-    /// Sets the bit; returns `true` if it was previously clear.
-    #[inline]
-    pub(crate) fn insert(&mut self, i: usize) -> bool {
-        let (w, b) = (i / 64, i % 64);
-        let mask = 1u64 << b;
-        let was = self.words[w] & mask;
-        self.words[w] |= mask;
-        was == 0
     }
 }
 
@@ -121,7 +114,7 @@ pub fn data_traffic_traced(
         data_traffic_impl(factor, partition, assignment, Some(recorder))
     });
     recorder.gauge("simulate.traffic.total", report.total as f64);
-    recorder.gauge("simulate.traffic.mean", report.mean() as f64);
+    recorder.gauge("simulate.traffic.mean", report.mean_f64());
     recorder.gauge("simulate.traffic.max_pair", report.max_pair() as f64);
     report
 }
@@ -431,12 +424,22 @@ mod tests {
     }
 
     #[test]
-    fn bitset_insert_semantics() {
-        let mut b = BitSet::new(130);
-        assert!(b.insert(0));
-        assert!(!b.insert(0));
-        assert!(b.insert(64));
-        assert!(b.insert(129));
-        assert!(!b.insert(129));
+    fn mean_f64_is_exact_where_mean_truncates() {
+        let t = TrafficReport {
+            total: 10,
+            per_proc: vec![3, 3, 4],
+            pair_matrix: vec![0; 9],
+            nprocs: 3,
+        };
+        assert_eq!(t.mean(), 3); // truncates
+        assert!((t.mean_f64() - 10.0 / 3.0).abs() < 1e-12);
+        let empty = TrafficReport {
+            total: 0,
+            per_proc: vec![],
+            pair_matrix: vec![],
+            nprocs: 0,
+        };
+        assert_eq!(empty.mean(), 0);
+        assert_eq!(empty.mean_f64(), 0.0);
     }
 }

@@ -186,13 +186,15 @@ fn simulate_timed_impl(
     // traffic model's local caching).
     let remote_elems = {
         let owner = partition.owner_map();
-        let mut seen: Vec<std::collections::HashSet<usize>> =
-            vec![std::collections::HashSet::new(); nprocs];
+        let entries = factor.num_entries();
+        let mut seen: Vec<crate::bitset::BitSet> = (0..nprocs)
+            .map(|_| crate::bitset::BitSet::new(entries))
+            .collect();
         let mut per_unit = vec![0usize; nu];
         let eid = |i: usize, j: usize| factor.entry_id(i, j).expect("factor entry");
         let touch = |src: usize,
                      tgt_unit: usize,
-                     seen: &mut Vec<std::collections::HashSet<usize>>,
+                     seen: &mut Vec<crate::bitset::BitSet>,
                      per_unit: &mut Vec<usize>| {
             let tp = assignment.proc_of(tgt_unit);
             let sp = assignment.proc_of(owner[src] as usize);
@@ -333,7 +335,11 @@ fn simulate_timed_impl(
         rec.gauge("simulate.timed.idle.total", idle_total);
         rec.gauge(
             "simulate.timed.idle.frac",
-            if capacity > 0.0 { idle_total / capacity } else { 0.0 },
+            if capacity > 0.0 {
+                idle_total / capacity
+            } else {
+                0.0
+            },
         );
         rec.gauge("simulate.timed.idle.max_proc", max_idle);
         rec.incr("simulate.timed.remote_messages", remote_messages);

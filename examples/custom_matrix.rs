@@ -53,15 +53,15 @@ fn main() {
         block.partition.num_units()
     );
     println!(
-        "block  (g = {grain}): traffic {:>8} (mean {:>6}), Δ = {:.2}",
+        "block  (g = {grain}): traffic {:>8} (mean {:>6.1}), Δ = {:.2}",
         block.traffic.total,
-        block.traffic.mean(),
+        block.traffic.mean_f64(),
         block.work.imbalance()
     );
     println!(
-        "wrap           : traffic {:>8} (mean {:>6}), Δ = {:.2}",
+        "wrap           : traffic {:>8} (mean {:>6.1}), Δ = {:.2}",
         wrap.traffic.total,
-        wrap.traffic.mean(),
+        wrap.traffic.mean_f64(),
         wrap.work.imbalance()
     );
 }

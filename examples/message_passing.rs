@@ -13,7 +13,10 @@ use spfactor::{ExecutionBackend, NetworkModel, Pipeline, Scheme};
 fn main() {
     let nprocs = 16;
     let model = NetworkModel::default();
-    println!("P = {nprocs}, network: latency {:.0e} s, {:.0e} s/element, {:.0e} s/work-unit", model.latency, model.per_element, model.flop_time);
+    println!(
+        "P = {nprocs}, network: latency {:.0e} s, {:.0e} s/element, {:.0e} s/work-unit",
+        model.latency, model.per_element, model.flop_time
+    );
     println!(
         "{:>9} {:>5} | {:>9} {:>9} {:>5} | {:>8} {:>9} {:>9} | {:>9}",
         "matrix", "map", "predicted", "observed", "match", "msgs", "bytes", "cache hit", "est time"

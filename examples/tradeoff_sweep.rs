@@ -32,11 +32,11 @@ fn main() {
                 .processors(nprocs)
                 .run();
             println!(
-                "{:>6} {:>4} {:>8} {:>8} {:>8.0} {:>8.2} {:>8}",
+                "{:>6} {:>4} {:>8} {:>8.1} {:>8.0} {:>8.2} {:>8}",
                 grain,
                 nprocs,
                 r.traffic.total,
-                r.traffic.mean(),
+                r.traffic.mean_f64(),
                 r.work.mean(),
                 r.work.imbalance(),
                 r.partition.num_units()

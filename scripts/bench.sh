@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Regenerates the tracked benchmark baseline (BENCH_pipeline.json).
+# Run from anywhere; all arguments pass through to the bench binary:
+#
+#   scripts/bench.sh                 # full run, rewrites BENCH_pipeline.json
+#   scripts/bench.sh --smoke         # tiny grid, schema validation only
+#   scripts/bench.sh --out /tmp/b.json
+#   scripts/bench.sh --side 300 --grain 50 --out /tmp/b.json
+#
+# See docs/PERFORMANCE.md for how to read the output.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+exec cargo run --release -q -p spfactor-bench --bin bench_pipeline -- "$@"

@@ -15,6 +15,9 @@ cargo build --release
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
+echo "==> lints: cargo fmt --check"
+cargo fmt --all --check
+
 echo "==> lints: cargo clippy --workspace (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -35,4 +38,17 @@ cargo run --release -q -p spfactor-bench --bin metrics > "$metrics_json"
 head -c 200 "$metrics_json"
 echo
 rm -f "$metrics_json"
+
+echo "==> bench smoke run: schema of BENCH_pipeline.json"
+bench_json="$(mktemp)"
+scripts/bench.sh --smoke --out "$bench_json" > /dev/null
+for field in '"schema": "spfactor-bench-pipeline/1"' \
+             '"large_grid_speedup"' '"matrices"' '"phases_ms"' \
+             '"simulate_ms"' '"block_parallel"' \
+             '"speedup_block_parallel_over_element"'; do
+  grep -qF "$field" "$bench_json" \
+    || { echo "bench JSON missing $field"; exit 1; }
+done
+rm -f "$bench_json"
+
 echo "OK: all verification steps passed"

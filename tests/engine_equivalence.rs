@@ -1,0 +1,58 @@
+//! Pinned equivalence: all three simulation engines must return
+//! bit-identical traffic and work reports on every paper matrix.
+//!
+//! The element engine is the oracle — it walks each update operation and
+//! deduplicates remote fetches one element at a time. The block engines
+//! compute the same tallies in closed form from unit-block geometry, so
+//! any divergence here means the interval algebra (or its parallel
+//! merge) miscounts. This test is the repo-level witness behind the
+//! `BENCH_pipeline.json` baseline, which only checks the matrices it
+//! happens to time.
+
+use spfactor::{Pipeline, Scheme, SimulateEngine};
+
+fn assert_engines_agree(pattern: spfactor::SymmetricPattern, name: &str, scheme: Scheme) {
+    for nprocs in [1usize, 4, 16] {
+        let base = Pipeline::new(pattern.clone())
+            .scheme(scheme)
+            .processors(nprocs)
+            .run();
+        for engine in [SimulateEngine::Block, SimulateEngine::BlockParallel] {
+            let r = Pipeline::new(pattern.clone())
+                .scheme(scheme)
+                .processors(nprocs)
+                .engine(engine)
+                .run();
+            assert_eq!(
+                r.traffic, base.traffic,
+                "{name} P={nprocs} {scheme:?}: {engine:?} traffic diverges from element"
+            );
+            assert_eq!(
+                r.work, base.work,
+                "{name} P={nprocs} {scheme:?}: {engine:?} work diverges from element"
+            );
+        }
+    }
+}
+
+#[test]
+fn engines_identical_on_all_paper_matrices_block_scheme() {
+    for m in spfactor::matrix::gen::paper::all() {
+        assert_engines_agree(m.pattern, m.name, Scheme::Block);
+    }
+}
+
+#[test]
+fn engines_identical_on_all_paper_matrices_wrap_scheme() {
+    for m in spfactor::matrix::gen::paper::all() {
+        assert_engines_agree(m.pattern, m.name, Scheme::Wrap);
+    }
+}
+
+#[test]
+fn engines_identical_on_figure2_and_scaled_grid() {
+    let fig2 = spfactor::matrix::gen::paper::fig2_grid();
+    assert_engines_agree(fig2.pattern, fig2.name, Scheme::Block);
+    let grid = spfactor::matrix::gen::paper::lap_grid(24);
+    assert_engines_agree(grid.pattern, grid.name, Scheme::Block);
+}

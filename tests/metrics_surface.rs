@@ -89,9 +89,9 @@ mod enabled {
             "simulate.data_traffic",
             "simulate.work_distribution",
         ] {
-            let stats = rec.span_stats(span).unwrap_or_else(|| {
-                panic!("span {span} missing; recorded: {:?}", rec.span_names())
-            });
+            let stats = rec
+                .span_stats(span)
+                .unwrap_or_else(|| panic!("span {span} missing; recorded: {:?}", rec.span_names()));
             assert_eq!(stats.count, 1, "span {span} should fire exactly once");
         }
     }
@@ -165,7 +165,10 @@ mod enabled {
         }
         // The executed runtime reproduces the analytic model exactly, and
         // the counters/gauges mirror the report it returns.
-        assert_eq!(rec.counter("mp.remote_fetches"), result.traffic.total as u64);
+        assert_eq!(
+            rec.counter("mp.remote_fetches"),
+            result.traffic.total as u64
+        );
         assert_eq!(rec.counter("mp.msgs_sent"), exec.msgs_total() as u64);
         assert_eq!(rec.counter("mp.bytes"), exec.bytes_total() as u64);
         assert_eq!(rec.counter("mp.cache_hits"), exec.cache_hits_total() as u64);
@@ -191,6 +194,56 @@ mod enabled {
                 Some(exec.per_proc[p].traffic as f64)
             );
         }
+    }
+
+    #[test]
+    fn block_engine_emits_its_surface() {
+        // Selecting a closed-form engine swaps the simulate spans: the
+        // element-model spans disappear and the engine span plus the
+        // simulate.engine.* counters appear, while the shared traffic /
+        // work gauges keep their values (docs/METRICS.md).
+        let rec = Arc::new(Recorder::new());
+        let m = spfactor::matrix::gen::paper::lap30();
+        let result = Pipeline::new(m.pattern)
+            .grain(4)
+            .processors(16)
+            .engine(spfactor::SimulateEngine::Block)
+            .with_recorder(rec.clone())
+            .run();
+        let stats = rec
+            .span_stats("simulate.engine.block")
+            .expect("block engine span");
+        assert_eq!(stats.count, 1);
+        assert!(rec.span_stats("simulate.data_traffic").is_none());
+        assert!(rec.span_stats("simulate.work_distribution").is_none());
+        assert_eq!(
+            rec.counter("simulate.engine.columns"),
+            result.factor.n() as u64
+        );
+        for counter in [
+            "simulate.engine.unit_visits",
+            "simulate.engine.interval_pieces",
+        ] {
+            assert!(
+                rec.counter(counter) > 0,
+                "counter {counter} missing or zero"
+            );
+        }
+        assert_eq!(rec.gauge_value("simulate.engine.threads"), Some(1.0));
+        // Shared gauges agree with the returned reports (and therefore
+        // with what the element engine would have recorded).
+        assert_eq!(
+            rec.gauge_value("simulate.traffic.total"),
+            Some(result.traffic.total as f64)
+        );
+        assert_eq!(
+            rec.gauge_value("simulate.traffic.mean"),
+            Some(result.traffic.mean_f64())
+        );
+        assert_eq!(
+            rec.gauge_value("simulate.work.imbalance"),
+            Some(result.work.imbalance())
+        );
     }
 
     #[test]

@@ -9,8 +9,8 @@
 //! processor, and per processor pair.
 
 use spfactor::{
-    matrix::gen, mp, numeric, partition, sched, simulate, ExecutionBackend, NetworkModel,
-    Ordering, Partition, PartitionParams, Pipeline, Scheme, SymbolicFactor,
+    matrix::gen, mp, numeric, partition, sched, simulate, ExecutionBackend, NetworkModel, Ordering,
+    Partition, PartitionParams, Pipeline, Scheme, SymbolicFactor,
 };
 
 struct Case {
@@ -96,7 +96,11 @@ fn check_case(c: &Case) {
     let predicted = simulate::data_traffic(&c.factor, &c.partition, &c.assignment);
     let observed = report.traffic_report();
     assert_eq!(observed.total, predicted.total, "{}: total", c.name);
-    assert_eq!(observed.per_proc, predicted.per_proc, "{}: per-proc", c.name);
+    assert_eq!(
+        observed.per_proc, predicted.per_proc,
+        "{}: per-proc",
+        c.name
+    );
     assert_eq!(
         observed.pair_matrix, predicted.pair_matrix,
         "{}: pair matrix",

@@ -3,7 +3,7 @@
 //! *any* symmetric pattern, not just the paper's test set.
 
 use proptest::prelude::*;
-use spfactor::{Pipeline, Scheme};
+use spfactor::{Pipeline, Scheme, SimulateEngine};
 
 /// Random connected-ish symmetric pattern: a random geometric graph of
 /// `n` points with mean degree `deg`.
@@ -58,6 +58,34 @@ proptest! {
         let b = Pipeline::new(pattern.clone()).processors(nprocs).run();
         let w = Pipeline::new(pattern).scheme(Scheme::Wrap).processors(nprocs).run();
         prop_assert_eq!(b.work.total, w.work.total);
+    }
+
+    #[test]
+    fn prop_simulate_engines_agree(
+        pattern in arb_pattern(),
+        grain in 1usize..30,
+        nprocs in 1usize..12,
+        wrap in any::<bool>(),
+    ) {
+        // The block closed-form engines must reproduce the element
+        // oracle bit for bit on arbitrary SPD structures, under both
+        // mapping schemes and arbitrary grains.
+        let scheme = if wrap { Scheme::Wrap } else { Scheme::Block };
+        let base = Pipeline::new(pattern.clone())
+            .scheme(scheme)
+            .grain(grain)
+            .processors(nprocs)
+            .run();
+        for engine in [SimulateEngine::Block, SimulateEngine::BlockParallel] {
+            let r = Pipeline::new(pattern.clone())
+                .scheme(scheme)
+                .grain(grain)
+                .processors(nprocs)
+                .engine(engine)
+                .run();
+            prop_assert_eq!(&r.traffic, &base.traffic, "{:?} traffic", engine);
+            prop_assert_eq!(&r.work, &base.work, "{:?} work", engine);
+        }
     }
 
     #[test]
