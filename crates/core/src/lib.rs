@@ -67,13 +67,89 @@ pub use spfactor_trace::Recorder;
 
 use std::sync::Arc;
 
-pub use spfactor_matrix::{Permutation, SymmetricPattern};
-pub use spfactor_mp::{MpReport, NetworkModel};
+pub use spfactor_matrix::{MatrixError, Permutation, SymmetricPattern};
+pub use spfactor_mp::{FaultPlan, MpError, MpReport, NetworkModel};
+pub use spfactor_numeric::NumericError;
 pub use spfactor_order::Ordering;
 pub use spfactor_partition::{DepGraph, Partition, PartitionParams};
 pub use spfactor_sched::Assignment;
 pub use spfactor_simulate::{SimulateEngine, TrafficReport, WorkReport};
 pub use spfactor_symbolic::SymbolicFactor;
+
+/// Workspace-wide error taxonomy: every way the stack can fail, as a
+/// value. Matrix construction and IO failures, numeric factorization
+/// failures, message-passing execution faults, and invalid pipeline
+/// parameters all funnel into this one enum, so callers match on a
+/// single type regardless of which layer failed.
+#[derive(Debug)]
+pub enum SpfactorError {
+    /// A pipeline parameter is invalid (zero columns, zero processors,
+    /// zero grain, zero minimum cluster width, …).
+    InvalidParameter {
+        /// Which builder parameter was rejected.
+        param: &'static str,
+        /// Why it was rejected.
+        message: String,
+    },
+    /// A failure in the matrix substrate (construction, format IO).
+    Matrix(MatrixError),
+    /// A numeric factorization failure (non-positive-definite input,
+    /// structure mismatch).
+    Numeric(NumericError),
+    /// A message-passing execution failure (numeric, injected fault,
+    /// watchdog, crashed processor, …).
+    Execution(MpError),
+}
+
+impl std::fmt::Display for SpfactorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpfactorError::InvalidParameter { param, message } => {
+                write!(f, "invalid parameter `{param}`: {message}")
+            }
+            SpfactorError::Matrix(e) => write!(f, "matrix error: {e}"),
+            SpfactorError::Numeric(e) => write!(f, "numeric error: {e}"),
+            SpfactorError::Execution(e) => write!(f, "execution error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpfactorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SpfactorError::InvalidParameter { .. } => None,
+            SpfactorError::Matrix(e) => Some(e),
+            SpfactorError::Numeric(e) => Some(e),
+            SpfactorError::Execution(e) => Some(e),
+        }
+    }
+}
+
+impl From<MatrixError> for SpfactorError {
+    fn from(e: MatrixError) -> Self {
+        SpfactorError::Matrix(e)
+    }
+}
+
+impl From<NumericError> for SpfactorError {
+    fn from(e: NumericError) -> Self {
+        SpfactorError::Numeric(e)
+    }
+}
+
+impl From<MpError> for SpfactorError {
+    fn from(e: MpError) -> Self {
+        // A numeric failure inside the mp runtime is still a numeric
+        // failure; unwrap it so callers match one variant either way.
+        match e {
+            MpError::Numeric(n) => SpfactorError::Numeric(n),
+            other => SpfactorError::Execution(other),
+        }
+    }
+}
+
+/// Error returned by [`Pipeline::try_run`] — the workspace taxonomy.
+pub type PipelineError = SpfactorError;
 
 /// Which mapping scheme the pipeline runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -118,6 +194,7 @@ pub struct Pipeline {
     nprocs: usize,
     execution: ExecutionBackend,
     engine: SimulateEngine,
+    fault_plan: Option<FaultPlan>,
     recorder: Option<Arc<Recorder>>,
 }
 
@@ -134,6 +211,7 @@ impl Pipeline {
             nprocs: 4,
             execution: ExecutionBackend::Analytic,
             engine: SimulateEngine::Element,
+            fault_plan: None,
             recorder: None,
         }
     }
@@ -197,9 +275,10 @@ impl Pipeline {
         self
     }
 
-    /// Sets the processor count.
+    /// Sets the processor count. Zero is rejected by
+    /// [`Pipeline::try_run`] with a typed error (and therefore panics in
+    /// [`Pipeline::run`]).
     pub fn processors(mut self, n: usize) -> Self {
-        assert!(n > 0, "need at least one processor");
         self.nprocs = n;
         self
     }
@@ -246,13 +325,91 @@ impl Pipeline {
         self
     }
 
-    /// Runs all stages and returns the full set of artifacts and metrics.
+    /// Injects a seeded [`FaultPlan`] into the
+    /// [`ExecutionBackend::MessagePassing`] run: message drops, delays,
+    /// duplicates and reorderings plus processor stalls and crashes, all
+    /// derived from the plan's seed (see `docs/ROBUSTNESS.md`). Has no
+    /// effect under [`ExecutionBackend::Analytic`]. Fault-induced
+    /// failures surface from [`Pipeline::try_run`] as
+    /// [`SpfactorError::Execution`].
+    ///
+    /// ```
+    /// use spfactor::{ExecutionBackend, FaultPlan, NetworkModel, Pipeline};
+    ///
+    /// let r = Pipeline::new(spfactor::matrix::gen::lap9(6, 6))
+    ///     .processors(4)
+    ///     .backend(ExecutionBackend::MessagePassing(NetworkModel::default()))
+    ///     .fault_plan(FaultPlan::chaos(7))
+    ///     .try_run()
+    ///     .unwrap();
+    /// // Even under chaos, a completed run cross-validates exactly.
+    /// let exec = r.execution.as_ref().unwrap();
+    /// assert_eq!(exec.traffic_report(), r.traffic);
+    /// assert!(!exec.faults.is_quiet());
+    /// ```
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Checks the builder parameters, returning the first violation as a
+    /// typed error instead of a downstream panic.
+    fn validate(&self) -> Result<(), PipelineError> {
+        if self.pattern.n() == 0 {
+            return Err(SpfactorError::InvalidParameter {
+                param: "pattern",
+                message: "matrix has zero columns".into(),
+            });
+        }
+        if self.nprocs == 0 {
+            return Err(SpfactorError::InvalidParameter {
+                param: "processors",
+                message: "need at least one processor".into(),
+            });
+        }
+        if self.params.grain_triangle == 0 || self.params.grain_rectangle == 0 {
+            return Err(SpfactorError::InvalidParameter {
+                param: "grain",
+                message: "grain sizes must be at least 1".into(),
+            });
+        }
+        if self.params.min_cluster_width == 0 {
+            return Err(SpfactorError::InvalidParameter {
+                param: "min_cluster_width",
+                message: "minimum cluster width must be at least 1".into(),
+            });
+        }
+        if let Some(plan) = &self.fault_plan {
+            plan.validate(self.nprocs)
+                .map_err(|message| SpfactorError::InvalidParameter {
+                    param: "fault_plan",
+                    message,
+                })?;
+        }
+        Ok(())
+    }
+
+    /// Runs all stages and returns the full set of artifacts and metrics,
+    /// panicking on failure. This is a thin wrapper over
+    /// [`Pipeline::try_run`] kept for ergonomic callers (examples,
+    /// benches, tests on known-good inputs); code that handles failures
+    /// should call `try_run` and match the [`PipelineError`].
+    pub fn run(self) -> PipelineResult {
+        self.try_run()
+            .unwrap_or_else(|e| panic!("pipeline failed: {e}"))
+    }
+
+    /// Runs all stages and returns the full set of artifacts and
+    /// metrics, or a typed [`PipelineError`]: invalid parameters are
+    /// rejected up front, and a failed message-passing execution
+    /// (non-SPD values, injected faults, watchdog) surfaces as a value.
     ///
     /// With a recorder attached (see [`Pipeline::with_recorder`]) each
     /// stage runs under a `phase.*` span and the instrumented variants of
     /// the phase entry points, so the recorder ends up with the complete
     /// metrics surface of the run.
-    pub fn run(self) -> PipelineResult {
+    pub fn try_run(self) -> Result<PipelineResult, PipelineError> {
+        self.validate()?;
         let recorder = self.recorder.clone();
         let rec = recorder.as_deref();
 
@@ -321,18 +478,26 @@ impl Pipeline {
             ExecutionBackend::MessagePassing(model) => {
                 let _phase = rec.map(|r| r.span("phase.execute"));
                 let a = matrix::gen::spd_from_pattern(&permuted, EXECUTION_VALUES_SEED);
+                let config = match self.fault_plan {
+                    Some(plan) => mp::MpConfig {
+                        fault: plan,
+                        ..mp::MpConfig::reliable(model)
+                    },
+                    None => mp::MpConfig::reliable(model),
+                };
                 let report = match rec {
                     Some(r) => {
-                        mp::execute_traced(&a, &factor, &partition, &deps, &assignment, &model, r)
+                        mp::execute_traced(&a, &factor, &partition, &deps, &assignment, &config, r)
                     }
-                    None => mp::execute(&a, &factor, &partition, &deps, &assignment, &model),
-                }
-                .expect("synthesized SPD values must factor");
+                    None => {
+                        mp::execute_config(&a, &factor, &partition, &deps, &assignment, &config)
+                    }
+                }?;
                 Some(report)
             }
         };
 
-        PipelineResult {
+        Ok(PipelineResult {
             permutation: perm,
             factor,
             partition,
@@ -342,7 +507,7 @@ impl Pipeline {
             work,
             execution,
             recorder,
-        }
+        })
     }
 }
 
@@ -437,6 +602,94 @@ mod tests {
     fn analytic_backend_skips_execution() {
         let r = Pipeline::new(gen::lap9(5, 5)).run();
         assert!(r.execution.is_none());
+    }
+
+    #[test]
+    fn try_run_rejects_invalid_parameters_with_typed_errors() {
+        let p = gen::lap9(5, 5);
+        let cases: [(&str, Pipeline); 4] = [
+            (
+                "pattern",
+                Pipeline::new(SymmetricPattern::from_edges(0, [])),
+            ),
+            ("processors", Pipeline::new(p.clone()).processors(0)),
+            ("grain", Pipeline::new(p.clone()).grain(0)),
+            (
+                "min_cluster_width",
+                Pipeline::new(p.clone()).min_cluster_width(0),
+            ),
+        ];
+        for (want, pipeline) in cases {
+            match pipeline.try_run() {
+                Err(SpfactorError::InvalidParameter { param, .. }) => {
+                    assert_eq!(param, want);
+                }
+                other => panic!("expected InvalidParameter({want}), got {other:?}"),
+            }
+        }
+        let mut bad = FaultPlan::none();
+        bad.drop = -0.5;
+        assert!(matches!(
+            Pipeline::new(p).fault_plan(bad).try_run(),
+            Err(SpfactorError::InvalidParameter {
+                param: "fault_plan",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn try_run_matches_run_on_valid_input() {
+        let p = gen::lap9(8, 8);
+        let a = Pipeline::new(p.clone()).processors(4).run();
+        let b = Pipeline::new(p).processors(4).try_run().expect("valid");
+        assert_eq!(a.traffic, b.traffic);
+        assert_eq!(a.work, b.work);
+    }
+
+    #[test]
+    fn fault_plan_survives_through_the_pipeline() {
+        let p = gen::lap9(8, 8);
+        let clean = Pipeline::new(p.clone())
+            .processors(4)
+            .backend(ExecutionBackend::MessagePassing(NetworkModel::default()))
+            .run();
+        let faulty = Pipeline::new(p)
+            .processors(4)
+            .backend(ExecutionBackend::MessagePassing(NetworkModel::default()))
+            .fault_plan(FaultPlan::chaos(11))
+            .try_run()
+            .expect("chaos plan must still complete");
+        let (c, f) = (
+            clean.execution.as_ref().unwrap(),
+            faulty.execution.as_ref().unwrap(),
+        );
+        // A completed faulty run cross-validates exactly like a clean one.
+        assert_eq!(f.factor, c.factor);
+        assert_eq!(f.traffic_report(), faulty.traffic);
+        assert_eq!(f.work_report(), faulty.work);
+        assert!(!f.faults.is_quiet());
+        assert!(c.faults.is_quiet());
+    }
+
+    #[test]
+    fn injected_crash_surfaces_as_typed_execution_error() {
+        let mut plan = FaultPlan::none();
+        plan.crash = Some(spfactor_mp::CrashPlan {
+            proc: 0,
+            after_units: 0,
+            announce: true,
+        });
+        let err = Pipeline::new(gen::lap9(8, 8))
+            .processors(4)
+            .backend(ExecutionBackend::MessagePassing(NetworkModel::default()))
+            .fault_plan(plan)
+            .try_run()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SpfactorError::Execution(MpError::ProcessorCrashed { proc: 0, .. })
+        ));
     }
 
     #[test]

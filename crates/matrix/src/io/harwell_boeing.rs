@@ -9,6 +9,11 @@ use crate::{Coo, MatrixError};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::path::Path;
 
+/// Upper bound on speculative pre-allocation from header-declared sizes.
+/// A malformed header claiming billions of entries must not abort the
+/// process inside `Vec::with_capacity`; the vectors still grow on demand.
+const MAX_PREALLOC: usize = 1 << 20;
+
 /// A parsed Fortran numeric edit descriptor: `count` fields of `width`
 /// characters per line.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -37,7 +42,12 @@ impl FortranFormat {
                 msg: format!("unrecognized Fortran format {s:?}"),
             })?
             .to_string();
-        let letter_pos = core.find(['I', 'E', 'F', 'D', 'G']).expect("checked above");
+        let letter_pos =
+            core.find(['I', 'E', 'F', 'D', 'G'])
+                .ok_or_else(|| MatrixError::Parse {
+                    line: 0,
+                    msg: format!("unrecognized Fortran format {s:?}"),
+                })?;
         let count: usize = if letter_pos == 0 {
             1
         } else {
@@ -58,11 +68,22 @@ impl FortranFormat {
                 msg: format!("degenerate Fortran format {s:?}"),
             });
         }
+        // HB cards are 80 columns; anything wider is a corrupt header, and
+        // bounding here keeps `fields` arithmetic trivially overflow-free.
+        if count > 1024 || width > 1024 {
+            return Err(MatrixError::Parse {
+                line: 0,
+                msg: format!("implausibly large Fortran format {s:?}"),
+            });
+        }
         Ok(FortranFormat { count, width })
     }
 
     /// Slices one line into at most `count` fixed-width trimmed fields,
-    /// stopping at the end of the line.
+    /// stopping at the end of the line. Slicing is byte-based: a stray
+    /// multi-byte character that straddles a field boundary yields a
+    /// replacement field (later rejected as an invalid number) rather
+    /// than a char-boundary panic.
     fn fields<'a>(&self, line: &'a str) -> Vec<&'a str> {
         let bytes = line.as_bytes();
         let mut out = Vec::with_capacity(self.count);
@@ -72,7 +93,9 @@ impl FortranFormat {
                 break;
             }
             let end = (start + self.width).min(bytes.len());
-            let f = line[start..end].trim();
+            let f = std::str::from_utf8(&bytes[start..end])
+                .map(str::trim)
+                .unwrap_or("\u{fffd}");
             if !f.is_empty() {
                 out.push(f);
             }
@@ -96,9 +119,15 @@ fn take_line(
     }
 }
 
+/// Extracts a fixed-column card field by byte range. A multi-byte
+/// character straddling the range yields a replacement field (later
+/// rejected by the integer/format parsers) instead of a slicing panic.
 fn field(line: &str, start: usize, end: usize) -> &str {
-    let len = line.len();
-    line[start.min(len)..end.min(len)].trim()
+    let bytes = line.as_bytes();
+    let len = bytes.len();
+    std::str::from_utf8(&bytes[start.min(len)..end.min(len)])
+        .map(str::trim)
+        .unwrap_or("\u{fffd}")
 }
 
 /// Reads a Harwell-Boeing `PSA`/`RSA` stream into a [`Coo`] matrix.
@@ -160,6 +189,12 @@ pub fn read_hb<R: Read>(reader: R) -> Result<Coo, MatrixError> {
             "matrix is {nrow} x {ncol}, not square"
         )));
     }
+    if ncol == usize::MAX {
+        return Err(MatrixError::Parse {
+            line: lineno,
+            msg: format!("implausible dimension {ncol}"),
+        });
+    }
 
     let card4 = take_line(&mut lines, &mut lineno, "format card")?;
     let ptrfmt = FortranFormat::parse(field(&card4, 0, 16))?;
@@ -175,7 +210,7 @@ pub fn read_hb<R: Read>(reader: R) -> Result<Coo, MatrixError> {
     }
 
     // Column pointers (1-based, ncol + 1 of them).
-    let mut colptr: Vec<usize> = Vec::with_capacity(ncol + 1);
+    let mut colptr: Vec<usize> = Vec::with_capacity((ncol + 1).min(MAX_PREALLOC));
     for _ in 0..ptrcrd {
         let l = take_line(&mut lines, &mut lineno, "column pointers")?;
         for f in ptrfmt.fields(&l) {
@@ -195,7 +230,7 @@ pub fn read_hb<R: Read>(reader: R) -> Result<Coo, MatrixError> {
     colptr.truncate(ncol + 1);
 
     // Row indices (1-based).
-    let mut rowind: Vec<usize> = Vec::with_capacity(nnz);
+    let mut rowind: Vec<usize> = Vec::with_capacity(nnz.min(MAX_PREALLOC));
     for _ in 0..indcrd {
         let l = take_line(&mut lines, &mut lineno, "row indices")?;
         for f in indfmt.fields(&l) {
@@ -211,7 +246,11 @@ pub fn read_hb<R: Read>(reader: R) -> Result<Coo, MatrixError> {
     rowind.truncate(nnz);
 
     // Values.
-    let mut values: Vec<f64> = Vec::with_capacity(if pattern_only { 0 } else { nnz });
+    let mut values: Vec<f64> = Vec::with_capacity(if pattern_only {
+        0
+    } else {
+        nnz.min(MAX_PREALLOC)
+    });
     if let Some(vf) = valfmt {
         'outer: for _ in 0..valcrd {
             let l = take_line(&mut lines, &mut lineno, "values")?;
@@ -226,16 +265,18 @@ pub fn read_hb<R: Read>(reader: R) -> Result<Coo, MatrixError> {
                 }
             }
         }
-        if !pattern_only && values.len() < nnz {
-            return Err(MatrixError::Parse {
-                line: lineno,
-                msg: format!("expected {} values, got {}", nnz, values.len()),
-            });
-        }
+    }
+    // Checked outside the `valfmt` branch: an RSA header with `valcrd: 0`
+    // must not reach the assembly loop with an empty value array.
+    if !pattern_only && values.len() < nnz {
+        return Err(MatrixError::Parse {
+            line: lineno,
+            msg: format!("expected {} values, got {}", nnz, values.len()),
+        });
     }
 
     // Assemble. HB symmetric files store the lower triangle column-wise.
-    let mut coo = Coo::with_capacity(nrow, nnz);
+    let mut coo = Coo::with_capacity(nrow, nnz.min(MAX_PREALLOC));
     for j in 0..ncol {
         let (s, e) = (colptr[j], colptr[j + 1]);
         if s < 1 || e < s || e - 1 > nnz {

@@ -107,7 +107,9 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Coo, MatrixError> {
         )));
     }
 
-    let mut coo = Coo::with_capacity(nrows, nnz);
+    // Cap the speculative allocation: a malformed header claiming billions
+    // of entries must not abort the process inside `Vec::with_capacity`.
+    let mut coo = Coo::with_capacity(nrows, nnz.min(1 << 20));
     let mut seen = 0usize;
     for l in lines {
         lineno += 1;

@@ -35,6 +35,8 @@ pub mod csc;
 pub mod error;
 pub mod gen;
 pub mod graph;
+// The IO parsers handle untrusted bytes: no unwrap/expect outside tests.
+#[cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 pub mod io;
 pub mod perm;
 pub mod plot;

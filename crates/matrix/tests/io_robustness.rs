@@ -1,0 +1,246 @@
+//! Malformed-input robustness for the matrix file parsers.
+//!
+//! The IO layer is the only part of the workspace that consumes untrusted
+//! bytes, so it must *never* panic: every broken file — truncated,
+//! bit-flipped, wrong-width, non-UTF-8-boundary, or absurdly-sized — has
+//! to come back as a typed [`MatrixError`]. The corpus tests pin known
+//! historical failure shapes; the property tests fuzz random mutations of
+//! valid files (including multi-byte UTF-8 splices that would break
+//! byte-offset string slicing).
+
+use proptest::prelude::*;
+use spfactor_matrix::io::{read_hb, read_matrix_market, write_hb, write_matrix_market};
+use spfactor_matrix::Coo;
+
+/// A small valid Harwell-Boeing RSA file used as the mutation base.
+const RSA: &str = "\
+tiny real symmetric                                                     TESTR
+             4             1             1             2             0
+RSA                        3             3             5             0
+(16I5)          (16I5)          (3E12.4)
+    1    3    5    6
+    1    2    2    3    3
+  4.0000E+00 -1.0000E+00  4.0000E+00
+ -1.0000E+00  4.0000E+00
+";
+
+/// A small valid MatrixMarket file used as the mutation base.
+const MM: &str = "\
+%%MatrixMarket matrix coordinate real symmetric
+% a comment
+3 3 4
+1 1 2.0
+2 1 -1.0
+2 2 2.0
+3 3 2.0
+";
+
+// --- corpus: known nasty shapes, each must be a typed error -------------
+
+#[test]
+fn hb_corpus_of_malformed_files_errors_cleanly() {
+    let cases: Vec<String> = vec![
+        // Empty and truncated at every card boundary.
+        String::new(),
+        RSA.lines().take(1).collect::<Vec<_>>().join("\n"),
+        RSA.lines().take(2).collect::<Vec<_>>().join("\n"),
+        RSA.lines().take(3).collect::<Vec<_>>().join("\n"),
+        RSA.lines().take(4).collect::<Vec<_>>().join("\n"),
+        RSA.lines().take(5).collect::<Vec<_>>().join("\n"),
+        // RSA that promises values but declares zero value cards: the
+        // assembly loop must not index an empty value array.
+        RSA.replace(
+            "             4             1             1             2",
+            "             2             1             1             0",
+        ),
+        // Header claiming a colossal nnz (allocation must stay bounded).
+        RSA.replace(
+            "RSA                        3             3             5",
+            "RSA                        3             3    9999999999999999",
+        ),
+        // Header claiming usize::MAX columns (no `ncol + 1` overflow).
+        RSA.replace(
+            "RSA                        3             3             5",
+            "RSA     18446744073709551615 18446744073709551615          5",
+        ),
+        // Degenerate and oversized Fortran formats.
+        RSA.replace("(16I5)          (16I5)", "(16I0)          (16I5)"),
+        RSA.replace("(16I5)          (16I5)", "(0I5)           (16I5)"),
+        RSA.replace("(16I5)          (16I5)", "(99999999I99999)(16I5)"),
+        RSA.replace("(16I5)          (16I5)", "(XYZ)           (16I5)"),
+        // Column pointers out of range / reversed.
+        RSA.replace("    1    3    5    6", "    0    3    5    6"),
+        RSA.replace("    1    3    5    6", "    1    9    5    6"),
+        RSA.replace("    1    3    5    6", "    5    3    2    1"),
+        // Row index out of range.
+        RSA.replace("    1    2    2    3    3", "    1    2    2    3    9"),
+        // Garbage where numbers belong.
+        RSA.replace("  4.0000E+00", "  what?!?..."),
+        RSA.replace(
+            "             4             1             1             2",
+            "             4           1.5             1             2",
+        ),
+        // Multi-byte characters planted inside fixed-width columns, so a
+        // naive `&line[a..b]` would slice mid-codepoint and panic.
+        RSA.replace("RSA  ", "RSA é"),
+        RSA.replace("             3", "            é3"),
+        RSA.replace("(16I5)", "(16I5é"),
+        RSA.replace("    1    3", "  é1é    3"),
+        RSA.replace("  4.0000E+00", "  4.0é00E+00"),
+    ];
+    for (k, case) in cases.iter().enumerate() {
+        let got = read_hb(case.as_bytes());
+        assert!(got.is_err(), "corpus case {k} should fail: {case:?}");
+    }
+}
+
+#[test]
+fn mm_corpus_of_malformed_files_errors_cleanly() {
+    let cases: Vec<String> = vec![
+        String::new(),
+        "%%MatrixMarket".into(),
+        "%%MatrixMarket matrix\n".into(),
+        MM.lines().take(2).collect::<Vec<_>>().join("\n"),
+        // Header promising more entries than the file carries.
+        MM.replace("3 3 4", "3 3 400"),
+        // Colossal nnz: allocation must stay bounded.
+        MM.replace("3 3 4", "3 3 99999999999999999"),
+        // Bad size line arity and non-numeric sizes.
+        MM.replace("3 3 4", "3 3"),
+        MM.replace("3 3 4", "3 3 4 4"),
+        MM.replace("3 3 4", "3 three 4"),
+        // Out-of-bounds and zero-based entries.
+        MM.replace("2 1 -1.0", "9 1 -1.0"),
+        MM.replace("2 1 -1.0", "0 1 -1.0"),
+        // Garbage values and short entry lines.
+        MM.replace("2 1 -1.0", "2 1 potato"),
+        MM.replace("2 1 -1.0", "2"),
+        // Multi-byte characters in the data.
+        MM.replace("2 1 -1.0", "2 1 -1é0"),
+    ];
+    for (k, case) in cases.iter().enumerate() {
+        let got = read_matrix_market(case.as_bytes());
+        assert!(got.is_err(), "corpus case {k} should fail: {case:?}");
+    }
+}
+
+// --- property tests: random mutations never panic -----------------------
+
+/// Applies one byte-level mutation to `base`. The result may or may not
+/// still be valid — the parsers just must not panic on it.
+fn mutate(base: &str, kind: usize, pos: usize, byte: u8) -> Vec<u8> {
+    let mut bytes = base.as_bytes().to_vec();
+    let pos = pos % (bytes.len() + 1);
+    match kind % 5 {
+        // Truncate.
+        0 => bytes.truncate(pos),
+        // Overwrite one byte (possibly breaking UTF-8).
+        1 => {
+            if pos < bytes.len() {
+                bytes[pos] = byte;
+            }
+        }
+        // Insert a multi-byte UTF-8 character mid-stream.
+        2 => {
+            let ch = ["é", "→", "𝄞", "字"][byte as usize % 4];
+            let mut out = bytes[..pos].to_vec();
+            out.extend_from_slice(ch.as_bytes());
+            out.extend_from_slice(&bytes[pos..]);
+            bytes = out;
+        }
+        // Delete a line.
+        3 => {
+            let lines: Vec<&[u8]> = bytes.split(|&b| b == b'\n').collect();
+            let drop = pos % lines.len();
+            let kept: Vec<&[u8]> = lines
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != drop)
+                .map(|(_, l)| *l)
+                .collect();
+            bytes = kept.join(&b'\n');
+        }
+        // Duplicate a line.
+        _ => {
+            let lines: Vec<&[u8]> = bytes.split(|&b| b == b'\n').collect();
+            let dup = pos % lines.len();
+            let mut out: Vec<&[u8]> = Vec::new();
+            for (i, l) in lines.iter().enumerate() {
+                out.push(l);
+                if i == dup {
+                    out.push(l);
+                }
+            }
+            bytes = out.join(&b'\n');
+        }
+    }
+    bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn hb_parser_never_panics_on_mutations(
+        kind in 0usize..5,
+        pos in 0usize..512,
+        byte in any::<u8>(),
+    ) {
+        // Ok or Err are both fine; reaching the end without a panic is
+        // the property under test.
+        let _ = read_hb(mutate(RSA, kind, pos, byte).as_slice());
+    }
+
+    #[test]
+    fn mm_parser_never_panics_on_mutations(
+        kind in 0usize..5,
+        pos in 0usize..512,
+        byte in any::<u8>(),
+    ) {
+        let _ = read_matrix_market(mutate(MM, kind, pos, byte).as_slice());
+    }
+
+    #[test]
+    fn hb_parser_never_panics_on_double_mutations(
+        k1 in 0usize..5, p1 in 0usize..512, b1 in any::<u8>(),
+        k2 in 0usize..5, p2 in 0usize..512, b2 in any::<u8>(),
+    ) {
+        let once = mutate(RSA, k1, p1, b1);
+        // Second mutation works on raw bytes; reuse the byte-level ops by
+        // going through a lossy string view when the bytes are not UTF-8.
+        let view = String::from_utf8_lossy(&once).into_owned();
+        let twice = mutate(&view, k2, p2, b2);
+        let _ = read_hb(twice.as_slice());
+    }
+
+    #[test]
+    fn round_trips_survive_for_random_matrices(
+        n in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        // Sanity anchor for the fuzzing above: unmutated writer output
+        // always parses back to the identical matrix.
+        let mut coo = Coo::new(n);
+        let mut s = seed;
+        let mut next = || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s
+        };
+        for j in 0..n {
+            coo.push(j, j, 4.0 + (next() % 8) as f64).unwrap();
+            if j > 0 {
+                let i = j - 1 - (next() as usize % j.max(1)).min(j - 1);
+                coo.push(j, i, -1.0).unwrap();
+            }
+        }
+        let mut hb = Vec::new();
+        write_hb(&mut hb, &coo, "prop round trip").unwrap();
+        let back_hb = read_hb(hb.as_slice()).unwrap();
+        prop_assert_eq!(back_hb.to_csc(), coo.to_csc());
+
+        let mut mm = Vec::new();
+        write_matrix_market(&mut mm, &coo).unwrap();
+        let back_mm = read_matrix_market(mm.as_slice()).unwrap();
+        prop_assert_eq!(back_mm.to_csc(), coo.to_csc());
+    }
+}

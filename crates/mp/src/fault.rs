@@ -1,0 +1,629 @@
+//! Deterministic fault injection at the mailbox boundary.
+//!
+//! A [`FaultPlan`] describes, from a single seed, which network and
+//! processor faults the virtual machine injects while a schedule runs:
+//! message **drop**, **duplication** (replay), **delay** and
+//! **reordering**, plus **processor stalls** (a processor pauses before
+//! executing a unit) and **crashes** (a processor goes permanently
+//! silent, optionally after announcing the failure). One `FaultInjector`
+//! per virtual processor sits between [`crate::runtime::Msg`] production
+//! and the destination mailbox, in the spirit of deterministic-simulation
+//! testing: every decision is drawn from a seeded splitmix64 stream keyed
+//! by the sending processor, so a given plan replays the same fault
+//! pattern for the same sequence of sends.
+//!
+//! Liveness is engineered, not hoped for: every window of
+//! [`FaultPlan::max_consecutive_drops`]` + 1` messages toward one
+//! destination delivers at least one (at a randomly chosen position, so
+//! the budget cannot resonate with periodic retransmission patterns),
+//! and held (delayed/reordered/replayed) messages are always
+//! released after a bounded number of injector events, so the runtime's
+//! retry and re-solicitation machinery (see [`crate::runtime`]) converges
+//! on every non-crash schedule. Crashed processors are the exception by
+//! design — they are what the stall watchdog and fetch-retry budgets
+//! exist to detect.
+
+use std::time::Duration;
+
+use crate::runtime::Msg;
+use crate::NetworkModel;
+
+/// What faults to inject, all derived deterministically from `seed`.
+///
+/// Probabilities are per *sent message*; `0.0` disables the fault kind.
+/// [`FaultPlan::none`] is the reliable-network plan the plain
+/// [`crate::execute`] entry point uses.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the per-processor decision streams.
+    pub seed: u64,
+    /// Probability a data-plane message is dropped by the network.
+    pub drop: f64,
+    /// Probability a message is duplicated: the copy is *replayed* to the
+    /// receiver a bounded number of injector events later.
+    pub duplicate: f64,
+    /// Probability a message is held back and delivered late.
+    pub delay: f64,
+    /// Probability a message is deferred past messages sent after it
+    /// (a one-event hold — the minimal reordering).
+    pub reorder: f64,
+    /// Held messages are released after at most this many injector events
+    /// (sends or retry ticks) by the holding processor.
+    pub max_delay_ticks: u32,
+    /// Liveness budget: every window of `max_consecutive_drops + 1`
+    /// messages toward one destination delivers at least one, at a
+    /// randomly chosen slot (so at most `2 · max_consecutive_drops`
+    /// consecutive drops across a window boundary). This is what makes
+    /// bounded retry sufficient even at `drop = 1.0`.
+    pub max_consecutive_drops: u32,
+    /// Inject periodic processor stalls.
+    pub stall: Option<StallPlan>,
+    /// Crash one processor partway through its program.
+    pub crash: Option<CrashPlan>,
+}
+
+/// Periodic processor stall: before executing every `every_units`-th unit
+/// of its program, `proc` sleeps for `pause`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StallPlan {
+    /// The stalling processor.
+    pub proc: usize,
+    /// Stall before every n-th unit of the program (1 = every unit).
+    pub every_units: usize,
+    /// How long each stall lasts.
+    pub pause: Duration,
+}
+
+/// Processor crash: after executing `after_units` units of its program,
+/// `proc` stops — it executes nothing further and answers no messages.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CrashPlan {
+    /// The crashing processor.
+    pub proc: usize,
+    /// Units it completes before dying (0 = crashes immediately).
+    pub after_units: usize,
+    /// If true the crash is announced to the run controller (a detected
+    /// node failure: the run aborts promptly with
+    /// [`crate::MpError::ProcessorCrashed`]). If false the processor goes
+    /// silent and the failure must be *discovered* by peers exhausting
+    /// their retry budgets or by the watchdog.
+    pub announce: bool,
+}
+
+impl FaultPlan {
+    /// The reliable network: no faults of any kind.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            drop: 0.0,
+            duplicate: 0.0,
+            delay: 0.0,
+            reorder: 0.0,
+            max_delay_ticks: 4,
+            max_consecutive_drops: 2,
+            stall: None,
+            crash: None,
+        }
+    }
+
+    /// A moderately hostile network: every non-crash fault kind enabled
+    /// at once, seeded. The runtime must complete under this plan with a
+    /// bit-identical factor.
+    pub fn chaos(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            drop: 0.2,
+            duplicate: 0.15,
+            delay: 0.2,
+            reorder: 0.15,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// Whether messages can be lost outright, requiring retransmission
+    /// (drops or a crashed processor). Dup/delay/reorder-only plans need
+    /// patience and idempotence, not retries.
+    pub fn lossy(&self) -> bool {
+        self.drop > 0.0 || self.crash.is_some()
+    }
+
+    /// Whether the plan injects anything at all.
+    pub fn is_none(&self) -> bool {
+        self.drop == 0.0
+            && self.duplicate == 0.0
+            && self.delay == 0.0
+            && self.reorder == 0.0
+            && self.stall.is_none()
+            && self.crash.is_none()
+    }
+
+    /// Checks internal consistency against a processor count.
+    pub fn validate(&self, nprocs: usize) -> Result<(), String> {
+        for (name, p) in [
+            ("drop", self.drop),
+            ("duplicate", self.duplicate),
+            ("delay", self.delay),
+            ("reorder", self.reorder),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("fault probability {name} = {p} outside [0, 1]"));
+            }
+        }
+        if self.max_delay_ticks == 0 {
+            return Err("max_delay_ticks must be at least 1".into());
+        }
+        if let Some(s) = &self.stall {
+            if s.proc >= nprocs {
+                return Err(format!("stall.proc {} >= nprocs {nprocs}", s.proc));
+            }
+            if s.every_units == 0 {
+                return Err("stall.every_units must be at least 1".into());
+            }
+        }
+        if let Some(c) = &self.crash {
+            if c.proc >= nprocs {
+                return Err(format!("crash.proc {} >= nprocs {nprocs}", c.proc));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+/// Timeout and retransmission knobs of the resilient runtime.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// First wait before a blocked processor re-examines the world.
+    pub base: Duration,
+    /// Backoff cap: waits double from `base` up to this bound.
+    pub max_backoff: Duration,
+    /// Retransmission rounds before a blocked wait is declared stuck and
+    /// reported to the controller (lossy plans only; reliable waits are
+    /// bounded by the watchdog instead).
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            base: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(100),
+            max_attempts: 32,
+        }
+    }
+}
+
+/// Full configuration of a resilient execution: cost model, fault plan,
+/// retry policy and the stall-watchdog budget.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MpConfig {
+    /// Network cost model for the parallel-time estimate.
+    pub network: NetworkModel,
+    /// Faults to inject.
+    pub fault: FaultPlan,
+    /// Timeout/backoff/retry knobs.
+    pub retry: RetryPolicy,
+    /// If a blocked processor makes no progress for this long — or the
+    /// run controller hears nothing from any processor for this long —
+    /// the run is aborted with a typed diagnostic instead of hanging.
+    pub watchdog: Duration,
+}
+
+impl MpConfig {
+    /// Reliable-network configuration: no faults, default retry knobs.
+    pub fn reliable(network: NetworkModel) -> Self {
+        MpConfig {
+            network,
+            fault: FaultPlan::none(),
+            retry: RetryPolicy::default(),
+            watchdog: Duration::from_secs(10),
+        }
+    }
+
+    /// Configuration running `fault` under the default network model.
+    pub fn with_fault(fault: FaultPlan) -> Self {
+        MpConfig {
+            fault,
+            ..MpConfig::reliable(NetworkModel::default())
+        }
+    }
+
+    /// Replaces the watchdog budget.
+    pub fn watchdog(mut self, budget: Duration) -> Self {
+        self.watchdog = budget;
+        self
+    }
+
+    /// Checks the configuration against a processor count.
+    pub fn validate(&self, nprocs: usize) -> Result<(), String> {
+        self.fault.validate(nprocs)?;
+        if self.watchdog.is_zero() {
+            return Err("watchdog budget must be positive".into());
+        }
+        if self.retry.base.is_zero() {
+            return Err("retry base timeout must be positive".into());
+        }
+        if self.retry.max_attempts == 0 {
+            return Err("retry max_attempts must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for MpConfig {
+    fn default() -> Self {
+        MpConfig::reliable(NetworkModel::default())
+    }
+}
+
+/// What one injector did to the messages that passed through it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Messages dropped by the network.
+    pub dropped: usize,
+    /// Messages duplicated (replayed later).
+    pub duplicated: usize,
+    /// Messages held back and delivered late.
+    pub delayed: usize,
+    /// Messages deferred past younger messages.
+    pub reordered: usize,
+    /// Stalls injected into this processor's program.
+    pub stalls: usize,
+}
+
+impl FaultStats {
+    fn absorb(&mut self, other: &FaultStats) {
+        self.dropped += other.dropped;
+        self.duplicated += other.duplicated;
+        self.delayed += other.delayed;
+        self.reordered += other.reordered;
+        self.stalls += other.stalls;
+    }
+}
+
+/// Machine-wide summary of injected faults and the recovery work they
+/// caused — attached to every [`crate::MpReport`] and carried inside
+/// every fault-related [`crate::MpError`] as the fault trace.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultTrace {
+    /// Messages dropped across all injectors.
+    pub dropped: usize,
+    /// Messages duplicated (replayed) across all injectors.
+    pub duplicated: usize,
+    /// Messages delivered late across all injectors.
+    pub delayed: usize,
+    /// Messages deferred past younger traffic across all injectors.
+    pub reordered: usize,
+    /// Processor stalls injected.
+    pub stalls: usize,
+    /// Request retransmissions sent while recovering from loss.
+    pub retries: usize,
+    /// Completion-status queries sent while recovering from loss.
+    pub queries: usize,
+    /// Stale (already-satisfied) messages receivers discarded.
+    pub stale: usize,
+    /// Processors that crashed during the run.
+    pub crashed: Vec<usize>,
+}
+
+impl FaultTrace {
+    /// True when no fault was injected and no recovery action was needed.
+    pub fn is_quiet(&self) -> bool {
+        *self == FaultTrace::default()
+    }
+
+    pub(crate) fn absorb_injector(&mut self, f: &FaultStats) {
+        let mut sum = FaultStats {
+            dropped: self.dropped,
+            duplicated: self.duplicated,
+            delayed: self.delayed,
+            reordered: self.reordered,
+            stalls: self.stalls,
+        };
+        sum.absorb(f);
+        self.dropped = sum.dropped;
+        self.duplicated = sum.duplicated;
+        self.delayed = sum.delayed;
+        self.reordered = sum.reordered;
+        self.stalls = sum.stalls;
+    }
+}
+
+impl std::fmt::Display for FaultTrace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "dropped {}, duplicated {}, delayed {}, reordered {}, stalls {}, \
+             retries {}, queries {}, stale {}, crashed {:?}",
+            self.dropped,
+            self.duplicated,
+            self.delayed,
+            self.reordered,
+            self.stalls,
+            self.retries,
+            self.queries,
+            self.stale,
+            self.crashed,
+        )
+    }
+}
+
+/// A message the injector decided to deliver: destination plus payload.
+pub(crate) type Delivery = (usize, Msg);
+
+/// The per-processor fault engine: every outbound data-plane message
+/// passes through [`FaultInjector::on_send`]; blocked waits advance it
+/// with [`FaultInjector::tick`] so held messages cannot linger forever.
+#[derive(Debug)]
+pub(crate) struct FaultInjector {
+    plan: FaultPlan,
+    enabled: bool,
+    /// splitmix64 state, seeded per processor.
+    state: u64,
+    /// Logical event clock: one tick per send or retry timeout.
+    clock: u64,
+    /// Held messages: (release_at, destination, payload).
+    held: Vec<(u64, usize, Msg)>,
+    /// Per-destination messages left in the current drop window.
+    window: Vec<u32>,
+    /// Per-destination index of the guaranteed-delivery slot in the
+    /// current window, chosen at random per window. A *random* slot (not
+    /// a fixed "every n-th passes" rule) is what keeps the budget from
+    /// resonating with periodic retransmission patterns: under
+    /// `drop = 1.0` a positional rule drops the same message of a fixed
+    /// per-round batch forever.
+    slot: Vec<u32>,
+    pub(crate) stats: FaultStats,
+}
+
+impl FaultInjector {
+    pub(crate) fn new(plan: &FaultPlan, me: usize, nprocs: usize) -> Self {
+        let enabled =
+            plan.drop > 0.0 || plan.duplicate > 0.0 || plan.delay > 0.0 || plan.reorder > 0.0;
+        FaultInjector {
+            plan: plan.clone(),
+            enabled,
+            state: plan
+                .seed
+                .wrapping_mul(0xD134_2543_DE82_EF95)
+                .wrapping_add((me as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            clock: 0,
+            held: Vec::new(),
+            window: vec![0; nprocs],
+            slot: vec![0; nprocs],
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Next uniform value in `[0, 1)` from the decision stream.
+    fn next_unit(&mut self) -> f64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        let bits = z ^ (z >> 31);
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn release_due(&mut self, out: &mut Vec<Delivery>) {
+        let clock = self.clock;
+        let mut k = 0;
+        while k < self.held.len() {
+            if self.held[k].0 <= clock {
+                let (_, dst, msg) = self.held.swap_remove(k);
+                out.push((dst, msg));
+            } else {
+                k += 1;
+            }
+        }
+    }
+
+    /// Routes one outbound message through the fault model. Returns the
+    /// deliveries to perform now (the message itself, earlier held
+    /// messages that came due, and any immediate duplicate).
+    pub(crate) fn on_send(&mut self, dst: usize, msg: Msg) -> Vec<Delivery> {
+        self.clock += 1;
+        let mut out = Vec::with_capacity(2);
+        if !self.enabled {
+            out.push((dst, msg));
+            return out;
+        }
+        self.release_due(&mut out);
+        // Fixed-length draw per message keeps the decision stream aligned
+        // with the send sequence regardless of which branches fire.
+        let r_drop = self.next_unit();
+        let r_dup = self.next_unit();
+        let r_hold = self.next_unit();
+        let r_ticks = self.next_unit();
+        if self.plan.drop > 0.0 {
+            // Liveness budget: each window of `max_consecutive_drops + 1`
+            // messages toward a destination delivers at least one, at a
+            // randomly chosen slot within the window.
+            let width = self.plan.max_consecutive_drops + 1;
+            if self.window[dst] == 0 {
+                self.window[dst] = width;
+                self.slot[dst] = (self.next_unit() * width as f64) as u32;
+            }
+            let idx = width - self.window[dst];
+            self.window[dst] -= 1;
+            if idx != self.slot[dst] && r_drop < self.plan.drop {
+                self.stats.dropped += 1;
+                return out;
+            }
+        }
+        let hold_for = 1 + (r_ticks * self.plan.max_delay_ticks as f64) as u64;
+        if r_dup < self.plan.duplicate {
+            // The duplicate is a *replay*: it reaches the receiver after
+            // the original, exercising the idempotent-dedup paths.
+            self.stats.duplicated += 1;
+            self.held.push((self.clock + hold_for, dst, msg.clone()));
+        }
+        if r_hold < self.plan.delay {
+            self.stats.delayed += 1;
+            self.held.push((self.clock + hold_for, dst, msg));
+        } else if r_hold < self.plan.delay + self.plan.reorder {
+            // Defer past the next event only: minimal reordering.
+            self.stats.reordered += 1;
+            self.held.push((self.clock + 1, dst, msg));
+        } else {
+            out.push((dst, msg));
+        }
+        out
+    }
+
+    /// Advances the logical clock during a blocked wait, releasing any
+    /// held messages that came due. Guarantees delayed traffic cannot be
+    /// starved by a sender that stops sending.
+    pub(crate) fn tick(&mut self) -> Vec<Delivery> {
+        self.clock += 1;
+        let mut out = Vec::new();
+        self.release_due(&mut out);
+        out
+    }
+
+    /// Releases everything still held, due or not — called when a
+    /// processor ends its program, so no message outlives its sender's
+    /// activity (a *crashed* processor deliberately skips this: messages
+    /// in its network interface die with it).
+    pub(crate) fn flush_all(&mut self) -> Vec<Delivery> {
+        self.held
+            .drain(..)
+            .map(|(_, dst, msg)| (dst, msg))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg() -> Msg {
+        Msg::Done { unit: 7 }
+    }
+
+    #[test]
+    fn reliable_plan_passes_messages_through_untouched() {
+        let mut inj = FaultInjector::new(&FaultPlan::none(), 0, 4);
+        for _ in 0..100 {
+            let out = inj.on_send(2, msg());
+            assert_eq!(out.len(), 1);
+            assert_eq!(out[0].0, 2);
+        }
+        assert_eq!(inj.stats, FaultStats::default());
+    }
+
+    #[test]
+    fn decision_stream_is_deterministic_per_seed() {
+        let plan = FaultPlan::chaos(42);
+        let run = |plan: &FaultPlan| {
+            let mut inj = FaultInjector::new(plan, 1, 4);
+            for _ in 0..200 {
+                let _ = inj.on_send(0, msg());
+            }
+            inj.stats
+        };
+        assert_eq!(run(&plan), run(&plan));
+        let other = FaultPlan::chaos(43);
+        assert_ne!(run(&plan), run(&other), "different seeds, same faults");
+    }
+
+    #[test]
+    fn consecutive_drop_budget_forces_delivery() {
+        let plan = FaultPlan {
+            drop: 1.0,
+            max_consecutive_drops: 3,
+            ..FaultPlan::none()
+        };
+        let mut inj = FaultInjector::new(&plan, 0, 2);
+        let mut delivered = 0usize;
+        for _ in 0..40 {
+            delivered += inj.on_send(1, msg()).len();
+        }
+        // With a budget of 3, every 4th message must get through.
+        assert_eq!(delivered, 10);
+        assert_eq!(inj.stats.dropped, 30);
+    }
+
+    #[test]
+    fn held_messages_are_released_by_ticks_and_flush() {
+        let plan = FaultPlan {
+            delay: 1.0,
+            max_delay_ticks: 3,
+            ..FaultPlan::none()
+        };
+        let mut inj = FaultInjector::new(&plan, 0, 2);
+        assert!(inj.on_send(1, msg()).is_empty(), "message must be held");
+        let mut released = 0usize;
+        for _ in 0..4 {
+            released += inj.tick().len();
+        }
+        assert_eq!(released, 1, "tick must release the held message");
+        let _ = inj.on_send(1, msg());
+        assert_eq!(inj.flush_all().len(), 1);
+        assert!(inj.flush_all().is_empty());
+    }
+
+    #[test]
+    fn duplicates_are_replayed_later() {
+        let plan = FaultPlan {
+            duplicate: 1.0,
+            ..FaultPlan::none()
+        };
+        let mut inj = FaultInjector::new(&plan, 0, 2);
+        let now = inj.on_send(1, msg());
+        assert_eq!(now.len(), 1, "original delivered immediately");
+        let mut replayed = 0usize;
+        for _ in 0..8 {
+            replayed += inj.tick().len();
+        }
+        assert_eq!(replayed, 1, "duplicate replayed by a later tick");
+        assert_eq!(inj.stats.duplicated, 1);
+    }
+
+    #[test]
+    fn plan_validation_catches_bad_knobs() {
+        assert!(FaultPlan::none().validate(4).is_ok());
+        let mut p = FaultPlan::none();
+        p.drop = 1.5;
+        assert!(p.validate(4).is_err());
+        let mut p = FaultPlan::none();
+        p.crash = Some(CrashPlan {
+            proc: 9,
+            after_units: 0,
+            announce: true,
+        });
+        assert!(p.validate(4).is_err());
+        let mut p = FaultPlan::none();
+        p.stall = Some(StallPlan {
+            proc: 0,
+            every_units: 0,
+            pause: Duration::from_millis(1),
+        });
+        assert!(p.validate(4).is_err());
+        assert!(MpConfig::default().validate(4).is_ok());
+        assert!(MpConfig::default()
+            .watchdog(Duration::ZERO)
+            .validate(4)
+            .is_err());
+    }
+
+    #[test]
+    fn chaos_plan_is_lossy_and_none_is_not() {
+        assert!(FaultPlan::chaos(1).lossy());
+        assert!(!FaultPlan::none().lossy());
+        assert!(FaultPlan::none().is_none());
+        assert!(!FaultPlan::chaos(1).is_none());
+        let mut crash_only = FaultPlan::none();
+        crash_only.crash = Some(CrashPlan {
+            proc: 0,
+            after_units: 1,
+            announce: false,
+        });
+        assert!(crash_only.lossy(), "crash requires loss detection");
+    }
+}

@@ -41,6 +41,19 @@
 //! message and work tallies into an estimated parallel time, like the
 //! paper ignoring dependency stalls.
 //!
+//! ## Resilience
+//!
+//! The machine is hardened against an unreliable substrate: a seeded
+//! [`FaultPlan`] injects message drop, duplication, delay and reordering
+//! plus processor stalls and crashes at the mailbox boundary (the
+//! `FaultInjector` in [`fault`]), and the runtime survives it with
+//! timeouts, bounded retransmission with exponential backoff, idempotent
+//! receivers, and a stall watchdog — see [`runtime`] for the protocol
+//! and `docs/ROBUSTNESS.md` for the fault model. Failures surface as
+//! typed [`MpError`] values carrying the machine-wide [`FaultTrace`];
+//! no fault schedule can hang or panic the caller
+//! (`tests/chaos_mp.rs`).
+//!
 //! ```
 //! use spfactor_matrix::gen;
 //! use spfactor_order::{order, Ordering};
@@ -69,13 +82,18 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod error;
+pub mod fault;
 pub mod runtime;
 
-pub use runtime::execute_with;
+pub use error::MpError;
+pub use fault::{CrashPlan, FaultPlan, FaultTrace, MpConfig, RetryPolicy, StallPlan};
+pub use runtime::{execute_config, execute_with};
 
 use spfactor_matrix::SymmetricCsc;
-use spfactor_numeric::{NumericError, NumericFactor};
+use spfactor_numeric::NumericFactor;
 use spfactor_partition::{DepGraph, Partition};
 use spfactor_sched::Assignment;
 use spfactor_simulate::{TrafficReport, WorkReport};
@@ -161,6 +179,15 @@ pub struct ProcStats {
     pub replies_served: usize,
     /// Payload elements carried by those replies.
     pub elements_served: usize,
+    /// Request retransmissions sent while recovering from message loss
+    /// (zero on a reliable network).
+    pub retries: usize,
+    /// Completion-status queries sent while recovering from message loss
+    /// (zero on a reliable network).
+    pub queries_sent: usize,
+    /// Stale (duplicate or already-satisfied) messages discarded by the
+    /// idempotent receive paths (zero on a reliable network).
+    pub stale: usize,
     /// Wall-clock nanoseconds blocked on the mailbox (non-deterministic).
     pub idle_ns: u64,
     /// Wall-clock nanoseconds executing unit blocks (non-deterministic).
@@ -185,6 +212,9 @@ pub struct MpReport {
     pub network: NetworkModel,
     /// Estimated parallel time under [`Self::network`], seconds.
     pub estimated_time: f64,
+    /// Machine-wide summary of injected faults and recovery work
+    /// (all-zero on a reliable network).
+    pub faults: FaultTrace,
 }
 
 impl MpReport {
@@ -236,13 +266,15 @@ impl MpReport {
     }
 }
 
-/// Executes the schedule on the virtual message-passing machine.
+/// Executes the schedule on the virtual message-passing machine under a
+/// reliable network.
 ///
 /// `a` must be symmetric positive definite with the structure the
 /// symbolic factor was computed from; `partition`, `deps` and
 /// `assignment` are the artifacts of the structural pipeline. Returns
-/// the factor and the observed statistics, or the first
-/// [`NumericError`] a virtual processor hit (lowest failing column).
+/// the factor and the observed statistics, or a typed [`MpError`]
+/// (numeric failures pick the lowest failing column deterministically).
+/// To run under an explicit fault plan, use [`execute_config`].
 pub fn execute(
     a: &SymmetricCsc,
     symbolic: &SymbolicFactor,
@@ -250,14 +282,18 @@ pub fn execute(
     deps: &DepGraph,
     assignment: &Assignment,
     network: &NetworkModel,
-) -> Result<MpReport, NumericError> {
+) -> Result<MpReport, MpError> {
     runtime::execute_with(a, symbolic, partition, deps, assignment, network)
 }
 
-/// [`execute`] with instrumentation: times the run under the span
+/// [`execute_config`] with instrumentation: times the run under the span
 /// `mp.execute`, bumps the `mp.*` counters (`mp.msgs_sent`, `mp.bytes`,
 /// `mp.cache_hits`, `mp.remote_fetches`, `mp.local_accesses`,
-/// `mp.idle_ns`, `mp.busy_ns`, `mp.units_run`) and records the headline
+/// `mp.idle_ns`, `mp.busy_ns`, `mp.units_run`, plus the resilience
+/// counters `mp.fault.dropped`, `mp.fault.duplicated`,
+/// `mp.fault.delayed`, `mp.fault.reordered`, `mp.fault.stalls`,
+/// `mp.retry.requests`, `mp.retry.queries`, `mp.retry.stale` — always
+/// present, all zero on a reliable network) and records the headline
 /// gauges `mp.traffic.total`, `mp.work.max`, `mp.estimated_time` plus
 /// per-processor gauges `mp.proc.<p>.traffic`, `mp.proc.<p>.work` and
 /// `mp.proc.<p>.msgs_sent` (see `docs/METRICS.md`).
@@ -267,11 +303,11 @@ pub fn execute_traced(
     partition: &Partition,
     deps: &DepGraph,
     assignment: &Assignment,
-    network: &NetworkModel,
+    config: &MpConfig,
     recorder: &Recorder,
-) -> Result<MpReport, NumericError> {
+) -> Result<MpReport, MpError> {
     let report = recorder.time("mp.execute", || {
-        runtime::execute_with(a, symbolic, partition, deps, assignment, network)
+        runtime::execute_config(a, symbolic, partition, deps, assignment, config)
     })?;
     let sum = |f: fn(&ProcStats) -> usize| report.per_proc.iter().map(f).sum::<usize>() as u64;
     recorder.incr("mp.msgs_sent", sum(|s| s.msgs_sent));
@@ -288,6 +324,16 @@ pub fn execute_traced(
         "mp.busy_ns",
         report.per_proc.iter().map(|s| s.busy_ns).sum(),
     );
+    // Resilience counters are recorded unconditionally so the metric
+    // surface is identical on reliable and faulty runs (zeros count).
+    recorder.incr("mp.fault.dropped", report.faults.dropped as u64);
+    recorder.incr("mp.fault.duplicated", report.faults.duplicated as u64);
+    recorder.incr("mp.fault.delayed", report.faults.delayed as u64);
+    recorder.incr("mp.fault.reordered", report.faults.reordered as u64);
+    recorder.incr("mp.fault.stalls", report.faults.stalls as u64);
+    recorder.incr("mp.retry.requests", report.faults.retries as u64);
+    recorder.incr("mp.retry.queries", report.faults.queries as u64);
+    recorder.incr("mp.retry.stale", report.faults.stale as u64);
     recorder.gauge("mp.traffic.total", sum(|s| s.traffic) as f64);
     recorder.gauge(
         "mp.work.max",

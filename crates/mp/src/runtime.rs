@@ -31,42 +31,73 @@
 //!
 //! While blocked in steps 1–2 a processor keeps serving incoming
 //! requests, so two processors can always satisfy each other's fetches.
-//! Execution of the per-processor programs cannot deadlock: queues are
-//! projections of one global topological order, hence the globally
-//! earliest unexecuted unit always sits at the front of its owner's
-//! queue with every predecessor complete and every requestable source
-//! final.
 //!
-//! Termination: after finishing its program (or failing a pivot) a
-//! processor broadcasts a terminal [`Msg::Finished`] / [`Msg::Abort`]
-//! and keeps draining its mailbox — still answering requests — until it
-//! has the terminal of every peer. Channels are FIFO per sender, so a
-//! peer's requests always precede its terminal and nobody exits while
-//! still owed a reply; an abort reaches every blocked wait loop because
-//! the waits dispatch all message kinds.
+//! ## Resilience
+//!
+//! Every data-plane message (`Done`, `Request`, `Reply`, `Query`) passes
+//! through the sender's `FaultInjector`, which may drop, duplicate,
+//! delay, or reorder it according to the run's [`FaultPlan`]; processors
+//! may also stall or crash. The runtime survives this:
+//!
+//! * **Timeouts + bounded retry.** Blocked waits receive with a timeout
+//!   that backs off exponentially ([`RetryPolicy`]). Under a *lossy* plan
+//!   (drops or a crash possible) a timed-out fetch retransmits its
+//!   outstanding [`Msg::Request`]s and a timed-out dependency wait sends
+//!   a [`Msg::Query`] to each missing predecessor's owner, who re-sends
+//!   `Done` if the unit is complete. After
+//!   [`RetryPolicy::max_attempts`] fruitless rounds the processor
+//!   reports itself stuck and the run aborts with a typed
+//!   [`MpError::FetchTimeout`] / [`MpError::DependencyTimeout`].
+//! * **Idempotent receivers.** A replayed `Done` is ignored after the
+//!   first sighting (`done_global`); a replayed `Reply` element is
+//!   ignored once installed (`inflight`). Factor values are final when
+//!   first sent, so duplicates can never corrupt the computation — the
+//!   factor stays bit-identical to sequential Cholesky under any
+//!   completing fault schedule.
+//! * **Control plane.** Workers report `Progress` / `Finished` /
+//!   `Aborted` / `Crashed` / `Stuck` events to a run controller over a
+//!   reliable (never faulted) channel; the controller broadcasts the
+//!   reliable [`Msg::Shutdown`] verdict when the run completes or must
+//!   abort. Termination therefore never depends on lossy peer-to-peer
+//!   terminals (the two-generals trap); a **stall watchdog** in the
+//!   controller aborts the run with [`MpError::WatchdogTimeout`] if no
+//!   processor makes progress for the whole [`MpConfig::watchdog`]
+//!   budget, so no fault schedule can hang the caller.
+//! * **Crashes.** A crashed processor goes silent mid-program. If the
+//!   crash is announced the controller aborts immediately with
+//!   [`MpError::ProcessorCrashed`]; a silent crash is discovered by
+//!   peers exhausting their retry budgets or by the watchdog. Every
+//!   fault-related error carries the machine-wide
+//!   [`crate::FaultTrace`].
+//!
+//! Observed traffic and work are classified during prefetch, before any
+//! fault can strike, and retransmissions are tallied separately — so
+//! whenever a run completes, its traffic and work reports equal the
+//! analytic simulator's predictions exactly, faults or not.
 //!
 //! ## Modeled message sizes
 //!
 //! The byte accounting charges 4 bytes per id or header word and 8 per
-//! value: a [`Msg::Done`] or terminal is 4 bytes, a request `4 + 4·k`
-//! for `k` ids, a reply `12·k` (id + value per element). These feed the
-//! `mp.bytes` counter; the [`NetworkModel`] charges
-//! per *element* and per *message*, so the estimate is independent of
-//! this convention.
+//! value: a [`Msg::Done`] is 4 bytes, a [`Msg::Query`] 8, a request
+//! `4 + 4·k` for `k` ids, a reply `12·k` (id + value per element). These
+//! feed the `mp.bytes` counter; the [`NetworkModel`] charges per
+//! *element* and per *message*, so the estimate is independent of this
+//! convention.
 
-use crate::{MpReport, NetworkModel, ProcStats};
-use crossbeam::channel::{self, Receiver, Sender};
+use crate::fault::{FaultInjector, FaultPlan, FaultStats, FaultTrace, MpConfig, RetryPolicy};
+use crate::{MpError, MpReport, NetworkModel, ProcStats};
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
 use spfactor_matrix::SymmetricCsc;
 use spfactor_numeric::{NumericError, NumericFactor};
 use spfactor_partition::{DepGraph, Partition};
 use spfactor_sched::{processor_queues, Assignment};
 use spfactor_symbolic::{ops, SymbolicFactor};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Modeled wire size of a [`Msg::Done`] notification (one unit id).
 pub const DONE_BYTES: usize = 4;
-/// Modeled wire size of a terminal ([`Msg::Finished`] / [`Msg::Abort`]).
-pub const TERMINAL_BYTES: usize = 4;
+/// Modeled wire size of a [`Msg::Query`] re-solicitation (two id words).
+pub const QUERY_BYTES: usize = 8;
 
 /// Modeled wire size of a block request carrying `k` element ids.
 pub fn request_bytes(k: usize) -> usize {
@@ -82,7 +113,8 @@ pub fn reply_bytes(k: usize) -> usize {
 #[derive(Clone, Debug)]
 pub enum Msg {
     /// Fan-out completion notification: `unit` has executed; the
-    /// receiver counts down its successors it owns.
+    /// receiver counts down its successors it owns (idempotently — a
+    /// replayed `Done` is discarded).
     Done {
         /// The completed unit block.
         unit: u32,
@@ -96,24 +128,60 @@ pub enum Msg {
         ids: Box<[u32]>,
     },
     /// Block reply: the values of `ids`, parallel arrays. The requester
-    /// installs them in its local element cache.
+    /// installs them in its local element cache (idempotently — an
+    /// element already installed is discarded).
     Reply {
         /// Entry ids, echoed from the request.
         ids: Box<[u32]>,
         /// The corresponding final factor values.
         vals: Box<[f64]>,
     },
-    /// Terminal: `from` has executed its whole program.
-    Finished {
-        /// Sending processor.
+    /// Re-solicitation: `from` timed out waiting for `unit` to complete
+    /// and asks its owner to re-send [`Msg::Done`] if it already has.
+    Query {
+        /// The querying processor (where the re-sent `Done` goes).
         from: u32,
+        /// The unit block being waited for.
+        unit: u32,
     },
-    /// Terminal: `from` hit a numeric error and will execute nothing
-    /// further; receivers abandon their programs too.
-    Abort {
-        /// Sending processor.
-        from: u32,
+    /// Run-controller verdict, broadcast on the reliable control plane
+    /// (never faulted): stop everything. `ok` is true on a completed
+    /// run, false on an abort.
+    Shutdown {
+        /// Whether the run completed successfully.
+        ok: bool,
     },
+}
+
+/// Worker-to-controller report, carried on a reliable channel the fault
+/// injector never touches.
+#[derive(Clone, Copy, Debug)]
+enum Event {
+    /// A unit block was executed.
+    Progress,
+    /// The whole program of `from` has executed.
+    Finished { from: usize },
+    /// `from` hit a numeric error (details travel in its outcome).
+    Aborted,
+    /// `from` crashed and announced it.
+    Crashed { from: usize },
+    /// `from` exhausted its retry budget.
+    Stuck { from: usize, kind: StuckKind },
+}
+
+/// What a stuck processor was waiting for.
+#[derive(Clone, Copy, Debug)]
+enum StuckKind {
+    Fetch { owner: usize, attempts: u32 },
+    Dependency { unit: usize, attempts: u32 },
+}
+
+/// Why the controller stopped the run.
+enum StopCause {
+    Numeric,
+    Crashed(usize),
+    Stuck(usize, StuckKind),
+    Watchdog(usize),
 }
 
 /// One update operation with entry-id positions (diagonal `j` at id `j`,
@@ -134,6 +202,22 @@ struct Outcome {
     fetched_from: Vec<usize>,
     vals: Vec<f64>,
     error: Option<NumericError>,
+    fault: FaultStats,
+    crashed: bool,
+}
+
+/// How a blocked wait ended.
+enum Flow {
+    /// The awaited condition holds; continue the program.
+    Continue,
+    /// Shutdown (or a stuck report) — abandon the program.
+    Stop,
+}
+
+enum Received {
+    Got,
+    TimedOut,
+    Closed,
 }
 
 struct Worker<'a> {
@@ -142,6 +226,7 @@ struct Worker<'a> {
     n: usize,
     rx: Receiver<Msg>,
     txs: &'a [Sender<Msg>],
+    events: &'a Sender<Event>,
     queue: &'a [u32],
     deps: &'a DepGraph,
     assignment: &'a Assignment,
@@ -150,6 +235,13 @@ struct Worker<'a> {
     col_of: &'a [u32],
     proc_of_entry: &'a [u32],
     unit_of_entry: &'a [u32],
+    plan: &'a FaultPlan,
+    retry: &'a RetryPolicy,
+    /// Whether messages can be lost outright (drops or a crash in the
+    /// plan) — gates retransmission so fault-free runs stay
+    /// deterministic message-for-message.
+    lossy: bool,
+    injector: FaultInjector,
     /// Private value store: owned entries seeded with `A`, remote
     /// entries installed by replies (zero until then).
     vals: Vec<f64>,
@@ -159,35 +251,66 @@ struct Worker<'a> {
     remaining: Vec<usize>,
     /// Own units that have executed (requests must only touch these).
     done_units: Vec<bool>,
+    /// Units known complete machine-wide (first-sighting dedup for
+    /// replayed [`Msg::Done`]s).
+    done_global: Vec<bool>,
     /// Per-owner batch of newly needed ids, built during prefetch.
     want: Vec<Vec<u32>>,
+    /// Entry ids requested but not yet installed (reply dedup).
+    inflight: Vec<bool>,
+    /// Ids awaited per owner, for retransmission under lossy plans.
+    outstanding: Vec<Vec<u32>>,
     /// Reply elements still in flight.
     pending: usize,
     /// Scratch: which processors to notify after a completion.
     notify: Vec<bool>,
-    terminals: usize,
-    peer_abort: bool,
+    /// Set once [`Msg::Shutdown`] arrives; all loops bail.
+    shutdown: Option<bool>,
     stats: ProcStats,
     fetched_from: Vec<usize>,
 }
 
 impl Worker<'_> {
+    /// Sends one data-plane message through the fault injector, which
+    /// may drop, hold, or duplicate it (and may release other held
+    /// messages that came due).
     fn send(&mut self, to: usize, msg: Msg, bytes: usize) {
         self.stats.msgs_sent += 1;
         self.stats.bytes_sent += bytes;
-        self.txs[to].send(msg).expect("mailbox open");
+        for (dst, m) in self.injector.on_send(to, msg) {
+            let _ = self.txs[dst].send(m);
+        }
     }
 
-    fn recv_dispatch(&mut self) {
+    /// Receives with a timeout; a timeout advances the injector clock so
+    /// held messages cannot be starved by a quiet sender.
+    fn recv_for(&mut self, timeout: Duration) -> Received {
         let wait = Instant::now();
-        let msg = self.rx.recv().expect("mailbox open");
-        self.stats.idle_ns += wait.elapsed().as_nanos() as u64;
-        self.dispatch(msg);
+        match self.rx.recv_timeout(timeout) {
+            Ok(msg) => {
+                self.stats.idle_ns += wait.elapsed().as_nanos() as u64;
+                self.dispatch(msg);
+                Received::Got
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                self.stats.idle_ns += wait.elapsed().as_nanos() as u64;
+                for (dst, m) in self.injector.tick() {
+                    let _ = self.txs[dst].send(m);
+                }
+                Received::TimedOut
+            }
+            Err(RecvTimeoutError::Disconnected) => Received::Closed,
+        }
     }
 
     fn dispatch(&mut self, msg: Msg) {
         match msg {
             Msg::Done { unit } => {
+                if self.done_global[unit as usize] {
+                    self.stats.stale += 1;
+                    return;
+                }
+                self.done_global[unit as usize] = true;
                 for &s in self.deps.succs(unit as usize) {
                     if self.assignment.proc_of(s as usize) == self.me {
                         self.remaining[s as usize] -= 1;
@@ -195,6 +318,8 @@ impl Worker<'_> {
                 }
             }
             Msg::Request { from, ids } => {
+                // A replayed request is re-served: the values are final,
+                // so the requester's dedup makes the second reply inert.
                 let vals: Box<[f64]> = ids
                     .iter()
                     .map(|&id| {
@@ -216,20 +341,194 @@ impl Worker<'_> {
             }
             Msg::Reply { ids, vals } => {
                 for (&id, &v) in ids.iter().zip(vals.iter()) {
-                    self.vals[id as usize] = v;
+                    if self.inflight[id as usize] {
+                        self.inflight[id as usize] = false;
+                        self.vals[id as usize] = v;
+                        self.pending -= 1;
+                    } else {
+                        self.stats.stale += 1;
+                    }
                 }
-                self.pending -= ids.len();
             }
-            Msg::Finished { .. } => self.terminals += 1,
-            Msg::Abort { .. } => {
-                self.terminals += 1;
-                self.peer_abort = true;
+            Msg::Query { from, unit } => {
+                // Re-send the (possibly lost) completion notice if the
+                // unit really is done; otherwise the real Done is still
+                // coming and the querier keeps waiting.
+                if self.done_units[unit as usize] {
+                    self.send(from as usize, Msg::Done { unit }, DONE_BYTES);
+                }
+            }
+            Msg::Shutdown { ok } => self.shutdown = Some(ok),
+        }
+    }
+
+    /// Blocks until every predecessor of `u` is complete, serving the
+    /// mailbox meanwhile. Lossy plans re-solicit missing predecessors on
+    /// timeout and give up (reporting `Stuck`) after the retry budget.
+    fn await_deps(&mut self, u: usize) -> Flow {
+        let mut backoff = self.retry.base;
+        let mut attempts = 0u32;
+        while self.remaining[u] > 0 {
+            if self.shutdown.is_some() {
+                return Flow::Stop;
+            }
+            match self.recv_for(backoff) {
+                // Any incoming message is evidence the machine is alive:
+                // reset the give-up counter, not just the backoff.
+                Received::Got => {
+                    backoff = self.retry.base;
+                    attempts = 0;
+                }
+                Received::Closed => return Flow::Stop,
+                Received::TimedOut => {
+                    if self.lossy {
+                        attempts += 1;
+                        if attempts > self.retry.max_attempts {
+                            let unit = self
+                                .deps
+                                .preds(u)
+                                .iter()
+                                .find(|&&p| !self.done_global[p as usize])
+                                .map(|&p| p as usize)
+                                .unwrap_or(u);
+                            let _ = self.events.send(Event::Stuck {
+                                from: self.me,
+                                kind: StuckKind::Dependency {
+                                    unit,
+                                    attempts: attempts - 1,
+                                },
+                            });
+                            return self.park();
+                        }
+                        self.resolicit(u);
+                    }
+                    backoff = (backoff * 2).min(self.retry.max_backoff);
+                }
             }
         }
+        if self.shutdown.is_some() {
+            Flow::Stop
+        } else {
+            Flow::Continue
+        }
+    }
+
+    /// Sends a [`Msg::Query`] for the *first* still-missing remote
+    /// predecessor of `u`. One query per round keeps the retransmission
+    /// pattern aperiodic: under a deterministic drop budget, a fixed
+    /// batch of re-sends per round can resonate with the drop parity so
+    /// the same message is dropped every round, while a single message
+    /// per round advances the parity on every attempt.
+    fn resolicit(&mut self, u: usize) {
+        let missing = self.deps.preds(u).iter().copied().find(|&p| {
+            !self.done_global[p as usize] && self.assignment.proc_of(p as usize) != self.me
+        });
+        if let Some(p) = missing {
+            let owner = self.assignment.proc_of(p as usize);
+            self.stats.queries_sent += 1;
+            self.send(
+                owner,
+                Msg::Query {
+                    from: self.me as u32,
+                    unit: p,
+                },
+                QUERY_BYTES,
+            );
+        }
+    }
+
+    /// Blocks until every requested element has been installed. Lossy
+    /// plans retransmit outstanding requests on timeout and give up
+    /// (reporting `Stuck`) after the retry budget.
+    fn await_replies(&mut self) -> Flow {
+        let mut backoff = self.retry.base;
+        let mut attempts = 0u32;
+        while self.pending > 0 {
+            if self.shutdown.is_some() {
+                return Flow::Stop;
+            }
+            match self.recv_for(backoff) {
+                Received::Got => {
+                    backoff = self.retry.base;
+                    attempts = 0;
+                }
+                Received::Closed => return Flow::Stop,
+                Received::TimedOut => {
+                    if self.lossy {
+                        attempts += 1;
+                        if attempts > self.retry.max_attempts {
+                            let owner = (0..self.nprocs)
+                                .find(|&sp| {
+                                    self.outstanding[sp]
+                                        .iter()
+                                        .any(|&id| self.inflight[id as usize])
+                                })
+                                .unwrap_or(self.me);
+                            let _ = self.events.send(Event::Stuck {
+                                from: self.me,
+                                kind: StuckKind::Fetch {
+                                    owner,
+                                    attempts: attempts - 1,
+                                },
+                            });
+                            return self.park();
+                        }
+                        self.retransmit();
+                    }
+                    backoff = (backoff * 2).min(self.retry.max_backoff);
+                }
+            }
+        }
+        for o in &mut self.outstanding {
+            o.clear();
+        }
+        if self.shutdown.is_some() {
+            Flow::Stop
+        } else {
+            Flow::Continue
+        }
+    }
+
+    /// Re-sends a [`Msg::Request`] for every element still in flight,
+    /// batched per owner as in the original fan-out.
+    fn retransmit(&mut self) {
+        for sp in 0..self.nprocs {
+            let still: Vec<u32> = self.outstanding[sp]
+                .iter()
+                .copied()
+                .filter(|&id| self.inflight[id as usize])
+                .collect();
+            if still.is_empty() {
+                continue;
+            }
+            self.stats.retries += 1;
+            let bytes = request_bytes(still.len());
+            self.send(
+                sp,
+                Msg::Request {
+                    from: self.me as u32,
+                    ids: still.into_boxed_slice(),
+                },
+                bytes,
+            );
+        }
+    }
+
+    /// After reporting itself stuck: keep serving peers until the
+    /// controller's shutdown verdict arrives, then stop.
+    fn park(&mut self) -> Flow {
+        while self.shutdown.is_none() {
+            if let Received::Closed = self.recv_for(self.retry.base) {
+                break;
+            }
+        }
+        Flow::Stop
     }
 
     /// Classifies one source access the way `data_traffic` does: local,
     /// cache hit, or a new remote fetch queued for the owner's batch.
+    /// Classification happens before any fault can strike, so traffic is
+    /// schedule-determined even on faulty runs.
     fn touch(&mut self, src: u32) {
         let sp = self.proc_of_entry[src as usize] as usize;
         if sp == self.me {
@@ -268,6 +567,10 @@ impl Worker<'_> {
                 continue;
             }
             let ids: Box<[u32]> = std::mem::take(&mut self.want[sp]).into_boxed_slice();
+            for &id in ids.iter() {
+                self.inflight[id as usize] = true;
+            }
+            self.outstanding[sp] = ids.to_vec();
             self.pending += ids.len();
             self.stats.requests_sent += 1;
             let bytes = request_bytes(ids.len());
@@ -285,7 +588,7 @@ impl Worker<'_> {
     /// Runs unit `u` on the private value store — the same per-column
     /// interleaving of updates and finalization as the shared-memory
     /// block executor, so per-element arithmetic order is sequential.
-    /// Returns the failing column on a non-positive pivot.
+    /// Returns the failing column on a non-positive (or NaN) pivot.
     fn execute_unit(&mut self, u: usize) -> Result<(), usize> {
         let ops_list: &[OpRec] = &self.unit_ops[u];
         let entries_list: &[u32] = &self.unit_entries[u];
@@ -310,7 +613,8 @@ impl Worker<'_> {
                     // Diagonal ids sort before strict entries (>= n), so
                     // the pivot is finalized before its column scales.
                     let d = self.vals[id];
-                    if d <= 0.0 {
+                    // NaN-safe: a plain `d <= 0.0` would let NaN through.
+                    if d.is_nan() || d <= 0.0 {
                         return Err(col as usize);
                     }
                     self.vals[id] = d.sqrt();
@@ -325,27 +629,41 @@ impl Worker<'_> {
     }
 
     fn run(mut self) -> Outcome {
+        let crash_at = self
+            .plan
+            .crash
+            .as_ref()
+            .filter(|c| c.proc == self.me)
+            .map(|c| (c.after_units, c.announce));
+        let stall = self.plan.stall.as_ref().filter(|s| s.proc == self.me);
+        let stall = stall.map(|s| (s.every_units, s.pause));
         let mut error: Option<usize> = None;
+        let mut crashed = false;
         'program: for qi in 0..self.queue.len() {
-            let u = self.queue[qi] as usize;
-            while self.remaining[u] > 0 {
-                if self.peer_abort {
+            if let Some((after, announce)) = crash_at {
+                if qi == after {
+                    // Dead: no flush, no serving — messages held in this
+                    // processor's network interface die with it.
+                    crashed = true;
+                    if announce {
+                        let _ = self.events.send(Event::Crashed { from: self.me });
+                    }
                     break 'program;
                 }
-                self.recv_dispatch();
             }
-            if self.peer_abort {
+            let u = self.queue[qi] as usize;
+            if let Flow::Stop = self.await_deps(u) {
                 break 'program;
             }
             self.prefetch(u);
-            while self.pending > 0 {
-                if self.peer_abort {
-                    break 'program;
-                }
-                self.recv_dispatch();
-            }
-            if self.peer_abort {
+            if let Flow::Stop = self.await_replies() {
                 break 'program;
+            }
+            if let Some((every, pause)) = stall {
+                if (qi + 1) % every == 0 {
+                    self.injector.stats.stalls += 1;
+                    std::thread::sleep(pause);
+                }
             }
             let work = Instant::now();
             let result = self.execute_unit(u);
@@ -356,6 +674,7 @@ impl Worker<'_> {
             }
             self.stats.units += 1;
             self.done_units[u] = true;
+            self.done_global[u] = true;
             self.notify.iter_mut().for_each(|f| *f = false);
             for &s in self.deps.succs(u) {
                 let p = self.assignment.proc_of(s as usize);
@@ -370,33 +689,37 @@ impl Worker<'_> {
                     self.send(p, Msg::Done { unit: u as u32 }, DONE_BYTES);
                 }
             }
+            let _ = self.events.send(Event::Progress);
         }
-        // Terminal broadcast, then drain (still serving requests) until
-        // every peer's terminal arrived — nobody is left owed a reply.
-        let me = self.me as u32;
-        for p in 0..self.nprocs {
-            if p != self.me {
-                let msg = if error.is_some() {
-                    Msg::Abort { from: me }
-                } else {
-                    Msg::Finished { from: me }
-                };
-                self.send(p, msg, TERMINAL_BYTES);
+        if !crashed && self.shutdown.is_none() {
+            if error.is_some() {
+                let _ = self.events.send(Event::Aborted);
+            } else {
+                // Program complete: release anything still held in the
+                // injector, then report in. Peers may still need replies,
+                // so keep serving until the controller's verdict.
+                for (dst, m) in self.injector.flush_all() {
+                    let _ = self.txs[dst].send(m);
+                }
+                let _ = self.events.send(Event::Finished { from: self.me });
             }
         }
-        while self.terminals < self.nprocs - 1 {
-            self.recv_dispatch();
+        if !crashed {
+            let _ = self.park();
         }
         Outcome {
+            fault: self.injector.stats,
             stats: self.stats,
             fetched_from: self.fetched_from,
             vals: self.vals,
             error: error.map(NumericError::NotPositiveDefinite),
+            crashed,
         }
     }
 }
 
-/// Runs the schedule on the virtual machine. See [`crate::execute`].
+/// Runs the schedule on the virtual machine under a reliable network.
+/// See [`crate::execute`].
 pub fn execute_with(
     a: &SymmetricCsc,
     symbolic: &SymbolicFactor,
@@ -404,16 +727,38 @@ pub fn execute_with(
     deps: &DepGraph,
     assignment: &Assignment,
     network: &NetworkModel,
-) -> Result<MpReport, NumericError> {
+) -> Result<MpReport, MpError> {
+    execute_config(
+        a,
+        symbolic,
+        partition,
+        deps,
+        assignment,
+        &MpConfig::reliable(*network),
+    )
+}
+
+/// Runs the schedule on the virtual machine under an explicit
+/// [`MpConfig`] — cost model, fault plan, retry policy and watchdog.
+/// See [`crate::execute`] for the protocol contract.
+pub fn execute_config(
+    a: &SymmetricCsc,
+    symbolic: &SymbolicFactor,
+    partition: &Partition,
+    deps: &DepGraph,
+    assignment: &Assignment,
+    config: &MpConfig,
+) -> Result<MpReport, MpError> {
     let n = a.n();
+    let nprocs = assignment.nprocs;
+    config.validate(nprocs).map_err(MpError::InvalidConfig)?;
     if n != symbolic.n() {
-        return Err(NumericError::StructureMismatch(format!(
+        return Err(MpError::Numeric(NumericError::StructureMismatch(format!(
             "matrix is {n}, symbolic factor is {}",
             symbolic.n()
-        )));
+        ))));
     }
     let nu = partition.num_units();
-    let nprocs = assignment.nprocs;
     let entries = symbolic.num_entries();
 
     // Seed values of A in entry-id layout (zeros where fill).
@@ -424,7 +769,9 @@ pub fn execute_with(
         seed[j] = avals[0];
         for (&i, &v) in rows[1..].iter().zip(&avals[1..]) {
             let id = symbolic.entry_id(i, j).ok_or_else(|| {
-                NumericError::StructureMismatch(format!("A({i}, {j}) not in factor"))
+                MpError::Numeric(NumericError::StructureMismatch(format!(
+                    "A({i}, {j}) not in factor"
+                )))
             })?;
             seed[id] = v;
         }
@@ -434,16 +781,31 @@ pub fn execute_with(
     // executor: updates grouped by target column in ascending
     // source-column order, owned entries sorted by (column, id).
     let owner = partition.owner_map();
-    let eid = |i: usize, j: usize| symbolic.entry_id(i, j).expect("factor entry");
     let mut unit_ops: Vec<Vec<OpRec>> = vec![Vec::new(); nu];
+    let mut bad_op = false;
     ops::for_each_update(symbolic, |op| {
-        let tgt = eid(op.i, op.j);
+        let (tgt, s1, s2) = match (
+            symbolic.entry_id(op.i, op.j),
+            symbolic.entry_id(op.i, op.k),
+            symbolic.entry_id(op.j, op.k),
+        ) {
+            (Some(t), Some(a1), Some(a2)) => (t, a1, a2),
+            _ => {
+                bad_op = true;
+                return;
+            }
+        };
         unit_ops[owner[tgt] as usize].push(OpRec {
             tgt: tgt as u32,
-            s1: eid(op.i, op.k) as u32,
-            s2: eid(op.j, op.k) as u32,
+            s1: s1 as u32,
+            s2: s2 as u32,
         });
     });
+    if bad_op {
+        return Err(MpError::Numeric(NumericError::StructureMismatch(
+            "update operation references an entry missing from the factor".into(),
+        )));
+    }
     let col_of: Vec<u32> = (0..entries)
         .map(|id| symbolic.entry_coords(id).1 as u32)
         .collect();
@@ -466,9 +828,12 @@ pub fn execute_with(
     let preds_len: Vec<usize> = (0..nu).map(|u| deps.preds(u).len()).collect();
 
     let (txs, rxs): (Vec<_>, Vec<_>) = (0..nprocs).map(|_| channel::unbounded::<Msg>()).unzip();
+    let (event_tx, event_rx) = channel::unbounded::<Event>();
+    let lossy = config.fault.lossy();
 
-    let outcomes: Vec<Outcome> = crossbeam::scope(|scope| {
+    let scope_result = crossbeam::scope(|scope| {
         let txs = &txs;
+        let event_tx = &event_tx;
         let handles: Vec<_> = rxs
             .into_iter()
             .enumerate()
@@ -488,6 +853,7 @@ pub fn execute_with(
                     n,
                     rx,
                     txs,
+                    events: event_tx,
                     queue: &queues[p],
                     deps,
                     assignment,
@@ -496,29 +862,97 @@ pub fn execute_with(
                     col_of: &col_of,
                     proc_of_entry: &proc_of_entry,
                     unit_of_entry: owner,
+                    plan: &config.fault,
+                    retry: &config.retry,
+                    lossy,
+                    injector: FaultInjector::new(&config.fault, p, nprocs),
                     vals,
                     cached: vec![false; entries],
                     remaining: preds_len.clone(),
                     done_units: vec![false; nu],
+                    done_global: vec![false; nu],
                     want: vec![Vec::new(); nprocs],
+                    inflight: vec![false; entries],
+                    outstanding: vec![Vec::new(); nprocs],
                     pending: 0,
                     notify: vec![false; nprocs],
-                    terminals: 0,
-                    peer_abort: false,
+                    shutdown: None,
                     stats: ProcStats::default(),
                     fetched_from: vec![0; nprocs],
                 };
                 scope.spawn(move |_| worker.run())
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("virtual processor panicked"))
-            .collect()
-    })
-    .expect("worker panicked");
 
-    // Deterministic error selection: the lowest failing column.
+        // Run controller: collect worker events on the reliable control
+        // plane, arbitrate the verdict, broadcast the shutdown. The
+        // watchdog fires when *nothing* reports progress for the whole
+        // budget — the machine is wedged.
+        let mut finished = vec![false; nprocs];
+        let mut nfinished = 0usize;
+        let cause: Option<StopCause> = loop {
+            match event_rx.recv_timeout(config.watchdog) {
+                Ok(Event::Progress) => {}
+                Ok(Event::Finished { from }) => {
+                    if !finished[from] {
+                        finished[from] = true;
+                        nfinished += 1;
+                    }
+                    if nfinished == nprocs {
+                        break None;
+                    }
+                }
+                Ok(Event::Aborted) => break Some(StopCause::Numeric),
+                Ok(Event::Crashed { from }) => break Some(StopCause::Crashed(from)),
+                Ok(Event::Stuck { from, kind }) => break Some(StopCause::Stuck(from, kind)),
+                // Disconnected means every worker thread has returned
+                // without the run completing — same diagnosis as a
+                // silent wedge, reached without waiting out the budget.
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+                    break Some(StopCause::Watchdog(nfinished))
+                }
+            }
+        };
+        for tx in txs.iter() {
+            let _ = tx.send(Msg::Shutdown {
+                ok: cause.is_none(),
+            });
+        }
+        let outcomes: Vec<Result<Outcome, usize>> = handles
+            .into_iter()
+            .enumerate()
+            .map(|(p, h)| h.join().map_err(|_| p))
+            .collect();
+        (cause, outcomes)
+    });
+    let (cause, joined) = match scope_result {
+        Ok(pair) => pair,
+        // The scope closure itself cannot panic past the joins above;
+        // treat the impossible as a runtime bug surfaced as a value.
+        Err(_) => return Err(MpError::WorkerPanic { proc: 0 }),
+    };
+    let mut outcomes = Vec::with_capacity(nprocs);
+    for o in joined {
+        match o {
+            Ok(o) => outcomes.push(o),
+            Err(p) => return Err(MpError::WorkerPanic { proc: p }),
+        }
+    }
+
+    // Machine-wide fault trace, attached to the report or the error.
+    let mut trace = FaultTrace::default();
+    for (p, o) in outcomes.iter().enumerate() {
+        trace.absorb_injector(&o.fault);
+        trace.retries += o.stats.retries;
+        trace.queries += o.stats.queries_sent;
+        trace.stale += o.stats.stale;
+        if o.crashed {
+            trace.crashed.push(p);
+        }
+    }
+
+    // Deterministic error selection: the lowest failing column, taken
+    // from the joined outcomes rather than event arrival order.
     if let Some(e) = outcomes
         .iter()
         .filter_map(|o| o.error.as_ref())
@@ -527,7 +961,43 @@ pub fn execute_with(
             NumericError::StructureMismatch(_) => usize::MAX,
         })
     {
-        return Err(e.clone());
+        return Err(MpError::Numeric(e.clone()));
+    }
+    match cause {
+        None => {}
+        Some(StopCause::Crashed(proc)) => return Err(MpError::ProcessorCrashed { proc, trace }),
+        Some(StopCause::Stuck(proc, StuckKind::Fetch { owner, attempts })) => {
+            return Err(MpError::FetchTimeout {
+                proc,
+                owner,
+                attempts,
+                trace,
+            })
+        }
+        Some(StopCause::Stuck(proc, StuckKind::Dependency { unit, attempts })) => {
+            return Err(MpError::DependencyTimeout {
+                proc,
+                unit,
+                attempts,
+                trace,
+            })
+        }
+        Some(StopCause::Watchdog(finished)) => {
+            return Err(MpError::WatchdogTimeout {
+                finished,
+                nprocs,
+                trace,
+            })
+        }
+        // An abort event with no numeric error in any outcome cannot
+        // happen; if it somehow did, report the wedge.
+        Some(StopCause::Numeric) => {
+            return Err(MpError::WatchdogTimeout {
+                finished: 0,
+                nprocs,
+                trace,
+            })
+        }
     }
 
     // Gather each entry's final value from its owner and repackage into
@@ -556,7 +1026,7 @@ pub fn execute_with(
     let per_proc: Vec<ProcStats> = outcomes.into_iter().map(|o| o.stats).collect();
     let estimated_time = per_proc
         .iter()
-        .map(|s| network.proc_time(s))
+        .map(|s| config.network.proc_time(s))
         .fold(0.0, f64::max);
 
     Ok(MpReport {
@@ -564,14 +1034,16 @@ pub fn execute_with(
         nprocs,
         per_proc,
         pair_matrix,
-        network: *network,
+        network: config.network,
         estimated_time,
+        faults: trace,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{CrashPlan, StallPlan};
     use spfactor_matrix::{gen, SymmetricPattern};
     use spfactor_order::{order, Ordering};
     use spfactor_partition::{dependencies, PartitionParams};
@@ -635,7 +1107,31 @@ mod tests {
         // Observed traffic and work match the analytic simulator exactly.
         assert_eq!(report.traffic_report(), data_traffic(f, part, assign));
         assert_eq!(report.work_report(), work_distribution(part, assign));
+        assert!(report.faults.is_quiet(), "fault-free run must be quiet");
         report
+    }
+
+    /// Like [`check`] but under an explicit fault config: the run must
+    /// still complete with the sequential factor and analytic traffic.
+    fn check_config(
+        a: &SymmetricCsc,
+        f: &SymbolicFactor,
+        part: &Partition,
+        deps: &DepGraph,
+        assign: &Assignment,
+        config: &MpConfig,
+    ) -> MpReport {
+        let report =
+            execute_config(a, f, part, deps, assign, config).expect("mp execute under faults");
+        let seq = spfactor_numeric::cholesky(a, f).unwrap();
+        assert_eq!(report.factor, seq, "factor must survive the fault plan");
+        assert_eq!(report.traffic_report(), data_traffic(f, part, assign));
+        assert_eq!(report.work_report(), work_distribution(part, assign));
+        report
+    }
+
+    fn short_watchdog(fault: FaultPlan) -> MpConfig {
+        MpConfig::with_fault(fault).watchdog(Duration::from_secs(5))
     }
 
     #[test]
@@ -730,7 +1226,7 @@ mod tests {
         let assign = block_allocation(&part, &deps, 2);
         assert_eq!(
             execute_with(&a, &f, &part, &deps, &assign, &NetworkModel::default()).unwrap_err(),
-            NumericError::NotPositiveDefinite(1)
+            MpError::Numeric(NumericError::NotPositiveDefinite(1))
         );
     }
 
@@ -741,7 +1237,151 @@ mod tests {
         let other = SymbolicFactor::from_pattern(&gen::lap9(3, 3));
         assert!(matches!(
             execute_with(&a, &other, &part, &deps, &assign, &NetworkModel::default()),
-            Err(NumericError::StructureMismatch(_))
+            Err(MpError::Numeric(NumericError::StructureMismatch(_)))
         ));
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_up_front() {
+        let (a, f, part, deps, assign) = setup_block(&gen::lap9(4, 4), 4, 2, 1);
+        let mut bad = FaultPlan::none();
+        bad.drop = 2.0;
+        assert!(matches!(
+            execute_config(&a, &f, &part, &deps, &assign, &MpConfig::with_fault(bad)),
+            Err(MpError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn dropped_then_retried_fetches_yield_identical_traffic() {
+        // Every message is dropped up to the consecutive-drop budget, so
+        // every fetch needs retransmission — yet the observed traffic
+        // and the factor are exactly the fault-free ones.
+        let (a, f, part, deps, assign) = setup_wrap(&gen::lap9(8, 8), 4, 9);
+        let clean = check(&a, &f, &part, &deps, &assign);
+        let plan = FaultPlan {
+            seed: 7,
+            drop: 1.0,
+            max_consecutive_drops: 1,
+            ..FaultPlan::none()
+        };
+        let faulty = check_config(&a, &f, &part, &deps, &assign, &short_watchdog(plan));
+        assert_eq!(faulty.traffic_report(), clean.traffic_report());
+        assert_eq!(faulty.work_report(), clean.work_report());
+        assert!(faulty.faults.dropped > 0, "drops must have been injected");
+        assert!(
+            faulty.faults.retries > 0 || faulty.faults.queries > 0,
+            "recovery must have retransmitted something"
+        );
+    }
+
+    #[test]
+    fn duplicate_and_reorder_only_plans_complete_idempotently() {
+        let (a, f, part, deps, assign) = setup_block(&gen::lap9(8, 8), 4, 4, 11);
+        let plan = FaultPlan {
+            seed: 3,
+            duplicate: 0.5,
+            delay: 0.3,
+            reorder: 0.3,
+            ..FaultPlan::none()
+        };
+        let report = check_config(&a, &f, &part, &deps, &assign, &short_watchdog(plan));
+        assert!(report.faults.duplicated + report.faults.delayed + report.faults.reordered > 0);
+        // Non-lossy plans never retransmit — patience and dedup suffice.
+        assert_eq!(report.faults.retries, 0);
+        assert_eq!(report.faults.queries, 0);
+    }
+
+    #[test]
+    fn announced_crash_aborts_with_typed_error_within_budget() {
+        let (a, f, part, deps, assign) = setup_wrap(&gen::lap9(8, 8), 4, 9);
+        let mut plan = FaultPlan::none();
+        plan.crash = Some(CrashPlan {
+            proc: 1,
+            after_units: 2,
+            announce: true,
+        });
+        let budget = Duration::from_secs(5);
+        let started = Instant::now();
+        let err = execute_config(
+            &a,
+            &f,
+            &part,
+            &deps,
+            &assign,
+            &MpConfig::with_fault(plan).watchdog(budget),
+        )
+        .unwrap_err();
+        assert!(started.elapsed() < budget, "announced crash must not wait");
+        match err {
+            MpError::ProcessorCrashed { proc, trace } => {
+                assert_eq!(proc, 1);
+                assert_eq!(trace.crashed, vec![1]);
+            }
+            other => panic!("expected ProcessorCrashed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn silent_crash_is_discovered_within_the_timeout_budget() {
+        let (a, f, part, deps, assign) = setup_wrap(&gen::lap9(8, 8), 4, 9);
+        let mut plan = FaultPlan::none();
+        plan.crash = Some(CrashPlan {
+            proc: 0,
+            after_units: 1,
+            announce: false,
+        });
+        let watchdog = Duration::from_secs(5);
+        let config = MpConfig {
+            retry: RetryPolicy {
+                base: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(8),
+                max_attempts: 6,
+            },
+            ..MpConfig::with_fault(plan)
+        }
+        .watchdog(watchdog);
+        let started = Instant::now();
+        let err = execute_config(&a, &f, &part, &deps, &assign, &config).unwrap_err();
+        // Peers must discover the dead processor via their retry budgets
+        // (or, at the latest, the watchdog) — never hang.
+        assert!(started.elapsed() < 2 * watchdog);
+        match err {
+            MpError::FetchTimeout { trace, .. }
+            | MpError::DependencyTimeout { trace, .. }
+            | MpError::WatchdogTimeout { trace, .. } => {
+                assert_eq!(trace.crashed, vec![0]);
+            }
+            other => panic!("expected a timeout-family error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stalls_slow_the_run_but_do_not_change_results() {
+        let (a, f, part, deps, assign) = setup_block(&gen::lap9(7, 7), 4, 3, 5);
+        let mut plan = FaultPlan::none();
+        plan.stall = Some(StallPlan {
+            proc: 0,
+            every_units: 2,
+            pause: Duration::from_millis(2),
+        });
+        let report = check_config(&a, &f, &part, &deps, &assign, &short_watchdog(plan));
+        assert!(report.faults.stalls > 0, "stalls must have been injected");
+    }
+
+    #[test]
+    fn chaos_plan_preserves_factor_and_traffic() {
+        for seed in [1u64, 2, 3] {
+            let (a, f, part, deps, assign) = setup_wrap(&gen::lap9(8, 8), 4, 9);
+            let report = check_config(
+                &a,
+                &f,
+                &part,
+                &deps,
+                &assign,
+                &short_watchdog(FaultPlan::chaos(seed)),
+            );
+            assert!(!report.faults.is_quiet(), "chaos must inject something");
+        }
     }
 }

@@ -249,7 +249,9 @@ fn cholesky_block_parallel_impl(
                                 if id == col as usize {
                                     // sqrt of the diagonal
                                     let d = unsafe { shared.read(id) };
-                                    if d <= 0.0 {
+                                    // NaN-safe: a plain `d <= 0.0` would
+                                    // let a NaN pivot through.
+                                    if d.is_nan() || d <= 0.0 {
                                         let mut e = first_error.lock().expect("error mutex");
                                         if e.is_none() {
                                             *e = Some(NumericError::NotPositiveDefinite(

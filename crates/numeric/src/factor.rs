@@ -135,7 +135,11 @@ pub fn cholesky(
         // Scatter A's column j.
         let a_rows = a.col_rows(j);
         let a_vals = a.col_values(j);
-        debug_assert_eq!(a_rows[0], j);
+        if a_rows.first() != Some(&j) {
+            return Err(NumericError::StructureMismatch(format!(
+                "column {j} of A does not start with its diagonal"
+            )));
+        }
         let mut dj = a_vals[0];
         for (&i, &v) in a_rows[1..].iter().zip(&a_vals[1..]) {
             if !symbolic.contains(i, j) {
@@ -161,7 +165,8 @@ pub fn cholesky(
             }
             let _ = s;
         }
-        if dj <= 0.0 {
+        // NaN-safe: a plain `dj <= 0.0` would let a NaN pivot through.
+        if dj.is_nan() || dj <= 0.0 {
             return Err(NumericError::NotPositiveDefinite(j));
         }
         let ljj = dj.sqrt();
@@ -232,6 +237,19 @@ mod tests {
         coo.push(0, 0, 1.0).unwrap();
         coo.push(1, 0, 2.0).unwrap();
         coo.push(1, 1, 1.0).unwrap(); // 1 - 4 < 0
+        let a = coo.to_csc();
+        let f = factor_setup(&a);
+        assert_eq!(cholesky(&a, &f), Err(NumericError::NotPositiveDefinite(1)));
+    }
+
+    #[test]
+    fn rejects_nan_pivot_instead_of_propagating() {
+        // A NaN diagonal must surface as NotPositiveDefinite, not as a
+        // factor full of NaNs.
+        let mut coo = Coo::new(2);
+        coo.push(0, 0, 4.0).unwrap();
+        coo.push(1, 0, 1.0).unwrap();
+        coo.push(1, 1, f64::NAN).unwrap();
         let a = coo.to_csc();
         let f = factor_setup(&a);
         assert_eq!(cholesky(&a, &f), Err(NumericError::NotPositiveDefinite(1)));

@@ -141,7 +141,8 @@ pub fn cholesky_multifrontal(
         // Partial dense Cholesky of the first w columns.
         for c in 0..w {
             let d = front[c * h + c];
-            if d <= 0.0 {
+            // NaN-safe: a plain `d <= 0.0` would let a NaN pivot through.
+            if d.is_nan() || d <= 0.0 {
                 return Err(NumericError::NotPositiveDefinite(sn.start + c));
             }
             let l = d.sqrt();

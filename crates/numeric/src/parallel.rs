@@ -153,7 +153,8 @@ fn cholesky_parallel_impl(
                             acc[pos_of(i)] -= ljk * v;
                         }
                     }
-                    if dj <= 0.0 {
+                    // NaN-safe: a plain `dj <= 0.0` would let a NaN pivot through.
+                    if dj.is_nan() || dj <= 0.0 {
                         let mut e = first_error.lock().expect("error mutex");
                         match &*e {
                             Some(NumericError::NotPositiveDefinite(prev)) if *prev <= j => {}

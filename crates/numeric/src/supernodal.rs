@@ -90,7 +90,8 @@ pub fn cholesky_supernodal(
         // column (right-looking within the panel).
         for c in 0..w {
             let djj = panel[c * h + c];
-            if djj <= 0.0 {
+            // NaN-safe: a plain `djj <= 0.0` would let a NaN pivot through.
+            if djj.is_nan() || djj <= 0.0 {
                 return Err(NumericError::NotPositiveDefinite(sn.start + c));
             }
             let ljj = djj.sqrt();

@@ -21,8 +21,23 @@ cargo fmt --all --check
 echo "==> lints: cargo clippy --workspace (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> lints: no unwrap/expect in the fault-handling surfaces"
+# The workspace clippy pass above enforces these because the sources carry
+# deny(clippy::unwrap_used, clippy::expect_used) attributes; here we only
+# assert the attributes have not been dropped. (Forcing the lints via
+# command-line -D would also lint dependency crates, which legitimately
+# unwrap in non-fault-handling code.)
+grep -q "deny(clippy::unwrap_used, clippy::expect_used)" crates/mp/src/lib.rs \
+  || { echo "crates/mp lost its unwrap/expect lint gate"; exit 1; }
+grep -q "deny(clippy::unwrap_used, clippy::expect_used)" crates/matrix/src/lib.rs \
+  || { echo "matrix::io lost its unwrap/expect lint gate"; exit 1; }
+
 echo "==> mp cross-validation: executed runtime vs analytic simulator"
 cargo test -q -p spfactor --test mp_cross_validation
+
+echo "==> chaos smoke: seeded fault injection cross-validates exactly"
+cargo test -q -p spfactor --test chaos_mp chaos_smoke
+cargo test -q -p spfactor-matrix --test io_robustness
 
 echo "==> trace feature off: cargo test --no-default-features"
 cargo test -q --workspace --no-default-features
