@@ -1,11 +1,16 @@
 //! Pipeline phase benchmark — the repo's tracked perf baseline.
 //!
 //! Times the six pipeline phases (order, symbolic, partition, deps,
-//! sched, simulate) on the five paper matrices plus a large generated
+//! sched, simulate) on the five paper matrices (grain 4, the paper's
+//! Tables 2–3 configuration), the largest of them (CANN1072) again at
+//! the production grain 25, and a large generated
 //! 9-point grid, running the simulate phase under all three
-//! [`SimulateEngine`]s, and writes the results as `BENCH_pipeline.json`.
-//! The headline number is the speedup of the block-closed-form engines
-//! over the per-element oracle on the large grid.
+//! [`SimulateEngine`]s and the deps phase under all three
+//! [`DepsEngine`]s, and writes the results as `BENCH_pipeline.json`. It
+//! also times the AMD ordering against the paper's MMD on every matrix
+//! (`order_alt`), recording the factor sizes each produces. The headline
+//! numbers are the large-grid speedups of the closed-form engines over
+//! their per-element/per-operation oracles.
 //!
 //! ```text
 //! cargo run --release -p spfactor-bench --bin bench_pipeline
@@ -15,26 +20,33 @@
 //!
 //! `--smoke` replaces the matrix set with one tiny grid so CI can
 //! validate the JSON schema in a fraction of a second; the schema is
-//! identical to the full run. Every run also cross-checks that the three
-//! engines return bit-identical reports and aborts if they do not, so a
-//! committed baseline is always an equivalence witness too.
+//! identical to the full run. Every run also cross-checks that the
+//! simulate engines return bit-identical reports and the deps engines
+//! bit-identical graphs, aborting if they do not — a committed baseline
+//! is always an equivalence witness too.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use spfactor::matrix::gen::paper::{self, TestMatrix};
-use spfactor::partition::dependencies;
+use spfactor::partition::{build_dependencies, DepsEngine};
 use spfactor::sched::block_allocation;
 use spfactor::simulate::{simulate, SimulateEngine};
 use spfactor::{Ordering, Partition, PartitionParams, SymbolicFactor};
 
 /// Schema identifier validated by `scripts/bench.sh --smoke`.
-const SCHEMA: &str = "spfactor-bench-pipeline/1";
+const SCHEMA: &str = "spfactor-bench-pipeline/2";
 
 const ENGINES: [SimulateEngine; 3] = [
     SimulateEngine::Element,
     SimulateEngine::Block,
     SimulateEngine::BlockParallel,
+];
+
+const DEPS_ENGINES: [DepsEngine; 3] = [
+    DepsEngine::Element,
+    DepsEngine::Sweep,
+    DepsEngine::SweepParallel,
 ];
 
 struct MatrixResult {
@@ -43,10 +55,22 @@ struct MatrixResult {
     factor_entries: usize,
     nprocs: usize,
     phases_ms: [(&'static str, f64); 5],
+    deps_ms: Vec<(&'static str, f64)>,
     simulate_ms: Vec<(&'static str, f64)>,
+    order_alt: OrderAlt,
     traffic_total: usize,
     work_total: usize,
     speedup_block_parallel: f64,
+    speedup_deps_sweep_parallel: f64,
+}
+
+/// AMD-vs-MMD comparison: wall time and the factor size each ordering
+/// yields on this matrix.
+struct OrderAlt {
+    mmd_ms: f64,
+    amd_ms: f64,
+    mmd_factor_entries: usize,
+    amd_factor_entries: usize,
 }
 
 fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
@@ -55,43 +79,80 @@ fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (v, t.elapsed().as_secs_f64() * 1e3)
 }
 
-/// Benchmarks one matrix end to end on the block scheme.
-fn bench_matrix(m: &TestMatrix, nprocs: usize, grain: usize) -> MatrixResult {
-    let (perm, order_ms) =
-        time_ms(|| spfactor::order::order(&m.pattern, Ordering::paper_default()));
+/// Best-of-`reps` timing; returns the last computed value.
+fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, f64) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let (v, ms) = time_ms(&mut f);
+        best = best.min(ms);
+        out = Some(v);
+    }
+    (out.expect("at least one rep"), best)
+}
+
+/// Benchmarks one matrix end to end on the block scheme. `label` names
+/// the result row (distinct labels keep same-matrix, different-grain
+/// entries apart in the JSON).
+fn bench_matrix(m: &TestMatrix, label: &str, nprocs: usize, grain: usize) -> MatrixResult {
+    let reps = if m.pattern.n() <= 2_000 { 3 } else { 1 };
+
+    let (perm, order_ms) = best_of(reps, || {
+        spfactor::order::order(&m.pattern, Ordering::paper_default())
+    });
+    // AMD next to MMD: same interface, cheaper degree maintenance; record
+    // the fill each produces so the speed/quality trade-off is tracked.
+    let (amd_perm, amd_ms) = best_of(reps, || {
+        spfactor::order::order(&m.pattern, Ordering::ApproximateMinimumDegree)
+    });
     let permuted = m.pattern.permute(&perm);
     let (factor, symbolic_ms) = time_ms(|| SymbolicFactor::from_pattern(&permuted));
+    let amd_factor_entries =
+        SymbolicFactor::from_pattern(&m.pattern.permute(&amd_perm)).num_entries();
+    let order_alt = OrderAlt {
+        mmd_ms: order_ms,
+        amd_ms,
+        mmd_factor_entries: factor.num_entries(),
+        amd_factor_entries,
+    };
+
     let params = PartitionParams::with_grain(grain);
     let (partition, partition_ms) = time_ms(|| Partition::build(&factor, &params));
-    let (deps, deps_ms) = time_ms(|| dependencies(&factor, &partition));
+
+    // Deps under each engine; cross-check the graphs agree bit for bit.
+    let mut deps_ms = Vec::new();
+    let mut graphs = Vec::new();
+    for engine in DEPS_ENGINES {
+        let (g, best) = best_of(reps, || build_dependencies(engine, &factor, &partition));
+        deps_ms.push((engine.name(), best));
+        graphs.push(g);
+    }
+    let deps = graphs.pop().expect("three graphs");
+    for (engine, g) in DEPS_ENGINES.iter().zip(&graphs).skip(1) {
+        assert_eq!(g, &graphs[0], "{label}: {engine:?} deps != element");
+    }
+    assert_eq!(deps, graphs[0], "{label}: SweepParallel deps != element");
+
     let (assignment, sched_ms) = time_ms(|| block_allocation(&partition, &deps, nprocs));
 
     // Simulate under each engine; keep the best of `reps` runs and check
     // the engines agree bit for bit.
-    let reps = if factor.n() <= 2_000 { 3 } else { 1 };
     let mut simulate_ms = Vec::new();
     let mut reports = Vec::new();
     for engine in ENGINES {
-        let mut best = f64::INFINITY;
-        let mut out = None;
-        for _ in 0..reps {
-            let (r, ms) = time_ms(|| simulate(engine, &factor, &partition, &assignment));
-            best = best.min(ms);
-            out = Some(r);
-        }
+        let (r, best) = best_of(reps, || simulate(engine, &factor, &partition, &assignment));
         simulate_ms.push((engine.name(), best));
-        reports.push(out.expect("at least one rep"));
+        reports.push(r);
     }
     let (traffic, work) = &reports[0];
     for (engine, (t, w)) in ENGINES.iter().zip(&reports).skip(1) {
-        assert_eq!(t, traffic, "{}: {engine:?} traffic != element", m.name);
-        assert_eq!(w, work, "{}: {engine:?} work != element", m.name);
+        assert_eq!(t, traffic, "{label}: {engine:?} traffic != element");
+        assert_eq!(w, work, "{label}: {engine:?} work != element");
     }
 
-    let element_ms = simulate_ms[0].1;
-    let parallel_ms = simulate_ms[2].1;
+    let speedup = |num: f64, den: f64| if den > 0.0 { num / den } else { f64::INFINITY };
     MatrixResult {
-        name: m.name.to_string(),
+        name: label.to_string(),
         n: factor.n(),
         factor_entries: factor.num_entries(),
         nprocs,
@@ -99,32 +160,41 @@ fn bench_matrix(m: &TestMatrix, nprocs: usize, grain: usize) -> MatrixResult {
             ("order", order_ms),
             ("symbolic", symbolic_ms),
             ("partition", partition_ms),
-            ("deps", deps_ms),
+            // Continuity with schema /1: the phase column stays the
+            // element oracle; the per-engine timings live in deps_ms.
+            ("deps", deps_ms[0].1),
             ("sched", sched_ms),
         ],
-        simulate_ms,
+        speedup_deps_sweep_parallel: speedup(deps_ms[0].1, deps_ms[2].1),
+        deps_ms,
+        order_alt,
         traffic_total: traffic.total,
         work_total: work.total,
-        speedup_block_parallel: if parallel_ms > 0.0 {
-            element_ms / parallel_ms
-        } else {
-            f64::INFINITY
-        },
+        speedup_block_parallel: speedup(simulate_ms[0].1, simulate_ms[2].1),
+        simulate_ms,
     }
+}
+
+fn write_ms_object(s: &mut String, key: &str, entries: &[(&'static str, f64)]) {
+    writeln!(s, "      \"{key}\": {{").unwrap();
+    for (j, (name, ms)) in entries.iter().enumerate() {
+        let comma = if j + 1 < entries.len() { "," } else { "" };
+        writeln!(s, "        \"{name}\": {ms:.3}{comma}").unwrap();
+    }
+    writeln!(s, "      }},").unwrap();
 }
 
 fn json_document(mode: &str, large_grid: &str, results: &[MatrixResult]) -> String {
     let mut s = String::new();
-    let large_speedup = results
-        .iter()
-        .find(|r| r.name == large_grid)
-        .map(|r| r.speedup_block_parallel)
-        .unwrap_or(0.0);
+    let large = results.iter().find(|r| r.name == large_grid);
+    let large_speedup = large.map(|r| r.speedup_block_parallel).unwrap_or(0.0);
+    let large_deps_speedup = large.map(|r| r.speedup_deps_sweep_parallel).unwrap_or(0.0);
     writeln!(s, "{{").unwrap();
     writeln!(s, "  \"schema\": \"{SCHEMA}\",").unwrap();
     writeln!(s, "  \"mode\": \"{mode}\",").unwrap();
     writeln!(s, "  \"large_grid\": \"{large_grid}\",").unwrap();
     writeln!(s, "  \"large_grid_speedup\": {large_speedup:.2},").unwrap();
+    writeln!(s, "  \"large_grid_deps_speedup\": {large_deps_speedup:.2},").unwrap();
     writeln!(s, "  \"matrices\": [").unwrap();
     for (i, r) in results.iter().enumerate() {
         writeln!(s, "    {{").unwrap();
@@ -139,14 +209,32 @@ fn json_document(mode: &str, large_grid: &str, results: &[MatrixResult]) -> Stri
             writeln!(s, "        \"{name}\": {ms:.3}{comma}").unwrap();
         }
         writeln!(s, "      }},").unwrap();
-        writeln!(s, "      \"simulate_ms\": {{").unwrap();
-        for (j, (name, ms)) in r.simulate_ms.iter().enumerate() {
-            let comma = if j + 1 < r.simulate_ms.len() { "," } else { "" };
-            writeln!(s, "        \"{name}\": {ms:.3}{comma}").unwrap();
-        }
+        write_ms_object(&mut s, "deps_ms", &r.deps_ms);
+        write_ms_object(&mut s, "simulate_ms", &r.simulate_ms);
+        writeln!(s, "      \"order_alt\": {{").unwrap();
+        writeln!(s, "        \"mmd_ms\": {:.3},", r.order_alt.mmd_ms).unwrap();
+        writeln!(s, "        \"amd_ms\": {:.3},", r.order_alt.amd_ms).unwrap();
+        writeln!(
+            s,
+            "        \"mmd_factor_entries\": {},",
+            r.order_alt.mmd_factor_entries
+        )
+        .unwrap();
+        writeln!(
+            s,
+            "        \"amd_factor_entries\": {}",
+            r.order_alt.amd_factor_entries
+        )
+        .unwrap();
         writeln!(s, "      }},").unwrap();
         writeln!(s, "      \"traffic_total\": {},", r.traffic_total).unwrap();
         writeln!(s, "      \"work_total\": {},", r.work_total).unwrap();
+        writeln!(
+            s,
+            "      \"speedup_deps_sweep_parallel_over_element\": {:.2},",
+            r.speedup_deps_sweep_parallel
+        )
+        .unwrap();
         writeln!(
             s,
             "      \"speedup_block_parallel_over_element\": {:.2}",
@@ -180,29 +268,48 @@ fn main() {
     // units the analytic engine degenerates to near-element granularity.
     let large_grain = flag("--grain").unwrap_or(25);
 
-    let (matrices, large_grid, nprocs) = if smoke {
+    // Each entry: (matrix, grain, result-row label).
+    let (entries, large_grid, nprocs) = if smoke {
         // One tiny grid: fast enough for CI schema validation.
-        (vec![paper::lap_grid(12)], "LAP12".to_string(), 4)
+        let g = paper::lap_grid(12);
+        let name = g.name.to_string();
+        (vec![(g, 4, name.clone())], name, 4)
     } else if let Some(side) = flag("--side") {
         // Single-grid exploration mode.
         let big = paper::lap_grid(side);
         let name = big.name.to_string();
-        (vec![big], name, 16)
+        (vec![(big, large_grain, name.clone())], name, 16)
     } else {
-        let mut ms = paper::all();
+        let mut es: Vec<(TestMatrix, usize, String)> = paper::all()
+            .into_iter()
+            .map(|m| {
+                let name = m.name.to_string();
+                (m, 4, name)
+            })
+            .collect();
+        // The largest paper matrix again at the production grain: the
+        // closed-form engines' collapse is grain-sensitive, so this row
+        // shows what they do on an irregular problem at the grain the
+        // large grid runs at (the grain-4 rows keep the paper's Tables
+        // 2-3 configuration).
+        let cann = paper::cann1072();
+        let cann_label = format!("{}-g{large_grain}", cann.name);
+        es.push((cann, large_grain, cann_label));
         // The large-grid stressor: 9-point Laplacian on a 200x200 grid
         // (40 000 columns), far beyond the paper's <=1138-column inputs.
         let big = paper::lap_grid(200);
         let big_name = big.name.to_string();
-        ms.push(big);
-        (ms, big_name, 16)
+        es.push((big, large_grain, big_name.clone()));
+        (es, big_name, 16)
     };
 
     let mut results = Vec::new();
-    for m in &matrices {
-        eprintln!("benchmarking {} (n = {})...", m.name, m.pattern.n());
-        let grain = if m.name == large_grid { large_grain } else { 4 };
-        results.push(bench_matrix(m, nprocs, grain));
+    for (m, grain, label) in &entries {
+        eprintln!(
+            "benchmarking {label} (n = {}, grain {grain})...",
+            m.pattern.n()
+        );
+        results.push(bench_matrix(m, label, nprocs, *grain));
     }
 
     let mode = if smoke { "smoke" } else { "full" };
@@ -216,9 +323,19 @@ fn main() {
             .map(|(n, ms)| format!("{n} {ms:.2}ms"))
             .collect::<Vec<_>>()
             .join(", ");
+        let dep: String = r
+            .deps_ms
+            .iter()
+            .map(|(n, ms)| format!("{n} {ms:.2}ms"))
+            .collect::<Vec<_>>()
+            .join(", ");
         println!(
-            "{:>10}  n={:<7} simulate: {}  (speedup {:.1}x)",
-            r.name, r.n, sim, r.speedup_block_parallel
+            "{:>10}  n={:<7} deps: {}  (speedup {:.1}x)",
+            r.name, r.n, dep, r.speedup_deps_sweep_parallel
+        );
+        println!(
+            "{:>10}  {:<9} simulate: {}  (speedup {:.1}x)",
+            "", "", sim, r.speedup_block_parallel
         );
     }
     println!("wrote {out_path}");

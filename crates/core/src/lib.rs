@@ -71,7 +71,7 @@ pub use spfactor_matrix::{MatrixError, Permutation, SymmetricPattern};
 pub use spfactor_mp::{FaultPlan, MpError, MpReport, NetworkModel};
 pub use spfactor_numeric::NumericError;
 pub use spfactor_order::Ordering;
-pub use spfactor_partition::{DepGraph, Partition, PartitionParams};
+pub use spfactor_partition::{DepGraph, DepsEngine, Partition, PartitionParams};
 pub use spfactor_sched::Assignment;
 pub use spfactor_simulate::{SimulateEngine, TrafficReport, WorkReport};
 pub use spfactor_symbolic::SymbolicFactor;
@@ -194,6 +194,7 @@ pub struct Pipeline {
     nprocs: usize,
     execution: ExecutionBackend,
     engine: SimulateEngine,
+    deps_engine: DepsEngine,
     fault_plan: Option<FaultPlan>,
     recorder: Option<Arc<Recorder>>,
 }
@@ -211,6 +212,7 @@ impl Pipeline {
             nprocs: 4,
             execution: ExecutionBackend::Analytic,
             engine: SimulateEngine::Element,
+            deps_engine: DepsEngine::Element,
             fault_plan: None,
             recorder: None,
         }
@@ -322,6 +324,30 @@ impl Pipeline {
     /// ```
     pub fn engine(mut self, e: SimulateEngine) -> Self {
         self.engine = e;
+        self
+    }
+
+    /// Selects the dependency-analysis engine (default:
+    /// [`DepsEngine::Element`], the per-operation oracle). All engines
+    /// return bit-identical dependency graphs — same edge sets, same
+    /// per-category operation counts; `Sweep` / `SweepParallel` build
+    /// them by sorted-extent sweeps over unit-block geometry and are the
+    /// fast choice on large problems — see `docs/PERFORMANCE.md`.
+    ///
+    /// ```
+    /// use spfactor::{DepsEngine, Pipeline};
+    ///
+    /// let p = spfactor::matrix::gen::lap9(8, 8);
+    /// let slow = Pipeline::new(p.clone()).processors(4).run();
+    /// let fast = Pipeline::new(p)
+    ///     .processors(4)
+    ///     .deps_engine(DepsEngine::SweepParallel)
+    ///     .run();
+    /// assert_eq!(slow.deps, fast.deps);
+    /// assert_eq!(slow.traffic, fast.traffic);
+    /// ```
+    pub fn deps_engine(mut self, e: DepsEngine) -> Self {
+        self.deps_engine = e;
         self
     }
 
@@ -443,8 +469,10 @@ impl Pipeline {
                 (Scheme::Wrap, None) => Partition::columns(&factor),
             };
             let deps = match rec {
-                Some(r) => partition::dependencies_traced(&factor, &partition, r),
-                None => partition::dependencies(&factor, &partition),
+                Some(r) => {
+                    partition::build_dependencies_traced(self.deps_engine, &factor, &partition, r)
+                }
+                None => partition::build_dependencies(self.deps_engine, &factor, &partition),
             };
             (partition, deps)
         };
@@ -595,6 +623,21 @@ mod tests {
             let r = Pipeline::new(p.clone()).processors(6).engine(e).run();
             assert_eq!(r.traffic, base.traffic, "engine {e:?} traffic diverged");
             assert_eq!(r.work, base.work, "engine {e:?} work diverged");
+        }
+    }
+
+    #[test]
+    fn deps_engine_selector_changes_nothing_observable() {
+        let p = gen::lap9(9, 9);
+        let base = Pipeline::new(p.clone()).processors(6).run();
+        for e in [DepsEngine::Sweep, DepsEngine::SweepParallel] {
+            let r = Pipeline::new(p.clone()).processors(6).deps_engine(e).run();
+            assert_eq!(r.deps, base.deps, "deps engine {e:?} graph diverged");
+            assert_eq!(
+                r.traffic, base.traffic,
+                "deps engine {e:?} traffic diverged"
+            );
+            assert_eq!(r.work, base.work, "deps engine {e:?} work diverged");
         }
     }
 

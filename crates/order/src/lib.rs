@@ -12,6 +12,29 @@
 //! * [`mmd::approximate_minimum_degree`] — upper-bound-degree AMD variant;
 //! * [`Ordering`] — a method-selection enum with a single [`order`] entry
 //!   point used by the pipeline.
+//!
+//! # Choosing an ordering
+//!
+//! The pipeline accepts any variant through `Pipeline::ordering`; they
+//! trade fill quality against ordering runtime:
+//!
+//! | method | fill quality | runtime | when to use |
+//! |---|---|---|---|
+//! | `MultipleMinimumDegree` | best on the paper's matrices | slowest of the degree family — exact external degrees, multiple elimination per pass | the paper's configuration; the default everywhere |
+//! | `ApproximateMinimumDegree` | within a few percent of MMD | substantially cheaper per elimination — upper-bound degrees avoid reach-set scans | large problems where ordering time shows up in the front end |
+//! | `ReverseCuthillMcKee` | poor (bandwidth, not fill) | near-linear BFS | banded structures; baseline comparisons |
+//! | `NestedDissection` | good asymptotics on meshes, weaker constants here | separator BFS per level | regular grids at scale |
+//! | `MinimumFill` | often lowest fill | much slower — simulates fill per candidate | small matrices; fill-quality reference |
+//! | `Natural` | none | free | pre-ordered inputs; debugging |
+//!
+//! Measured numbers back these rows: `BENCH_pipeline.json` records
+//! MMD-vs-AMD wall time and resulting factor nonzeros per paper matrix
+//! under `order_alt` (regenerate with `scripts/bench.sh`), and the
+//! `orderings` bench bin (`cargo run --release -p spfactor-bench --bin
+//! orderings`) sweeps fill across every method. A pipeline run tagged
+//! with a recorder reports the method it used via the `order.alg.<name>`
+//! counter and its cost under the `order.compute` span (see
+//! `docs/METRICS.md`).
 
 pub mod etree;
 pub mod mf;
@@ -50,6 +73,19 @@ impl Ordering {
     pub fn paper_default() -> Self {
         Ordering::MultipleMinimumDegree { delta: 0 }
     }
+
+    /// Stable lowercase name used in metrics (`order.alg.<name>`) and the
+    /// bench JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Ordering::Natural => "natural",
+            Ordering::ReverseCuthillMcKee => "rcm",
+            Ordering::MultipleMinimumDegree { .. } => "mmd",
+            Ordering::NestedDissection => "nd",
+            Ordering::MinimumFill => "mf",
+            Ordering::ApproximateMinimumDegree => "amd",
+        }
+    }
 }
 
 /// Computes the permutation for `pattern` under the selected method.
@@ -66,8 +102,10 @@ pub fn order(pattern: &SymmetricPattern, method: Ordering) -> Permutation {
 }
 
 /// [`order`] with instrumentation: times the whole computation under the
-/// span `order.compute` and, for the minimum-degree methods, records the
-/// `order.mmd.*` work counters (see `docs/METRICS.md`).
+/// span `order.compute`, records which algorithm ran as the
+/// `order.alg.<name>` counter (names from [`Ordering::name`]) and, for
+/// the minimum-degree methods, the `order.mmd.*` work counters (see
+/// `docs/METRICS.md`).
 ///
 /// ```
 /// use spfactor_order::{order_traced, Ordering};
@@ -79,6 +117,7 @@ pub fn order(pattern: &SymmetricPattern, method: Ordering) -> Permutation {
 /// assert_eq!(perm.len(), 16);
 /// if rec.is_enabled() {
 ///     assert!(rec.counter("order.mmd.passes") > 0);
+///     assert_eq!(rec.counter("order.alg.mmd"), 1);
 /// }
 /// ```
 pub fn order_traced(
@@ -87,6 +126,7 @@ pub fn order_traced(
     recorder: &Recorder,
 ) -> Permutation {
     let _span = recorder.span("order.compute");
+    recorder.incr(&format!("order.alg.{}", method.name()), 1);
     match method {
         Ordering::MultipleMinimumDegree { delta } => {
             mmd::multiple_minimum_degree_traced(pattern, delta, recorder)
@@ -124,6 +164,16 @@ mod tests {
     fn natural_is_identity() {
         let p = gen::grid5(3, 3);
         assert!(order(&p, Ordering::Natural).is_identity());
+    }
+
+    #[test]
+    fn method_names_are_stable() {
+        assert_eq!(Ordering::Natural.name(), "natural");
+        assert_eq!(Ordering::ReverseCuthillMcKee.name(), "rcm");
+        assert_eq!(Ordering::MultipleMinimumDegree { delta: 2 }.name(), "mmd");
+        assert_eq!(Ordering::NestedDissection.name(), "nd");
+        assert_eq!(Ordering::MinimumFill.name(), "mf");
+        assert_eq!(Ordering::ApproximateMinimumDegree.name(), "amd");
     }
 
     #[test]

@@ -183,7 +183,11 @@ pub fn category_of(externals: &[&UnitShape], target: &UnitShape) -> Option<DepCa
 }
 
 /// The unit-level dependency graph of a partition.
-#[derive(Clone, Debug)]
+///
+/// Equality compares the full graph — predecessor/successor sets and the
+/// per-category operation counts — which is what the engine-equivalence
+/// tests pin between the element oracle and the sweep engines.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DepGraph {
     /// `preds[u]` — sorted, distinct unit ids whose data unit `u` reads.
     preds: Vec<Vec<u32>>,
@@ -226,6 +230,33 @@ impl DepGraph {
     /// Total dependency edges.
     pub fn num_edges(&self) -> usize {
         self.preds.iter().map(Vec::len).sum()
+    }
+
+    /// Assembles a graph from raw (unsorted, possibly duplicated)
+    /// predecessor lists plus the category tallies: sorts and
+    /// deduplicates each list, then derives the successor lists. Shared
+    /// by the element and sweep builders so both produce identical
+    /// representations from identical edge multisets.
+    pub(crate) fn assemble(mut preds: Vec<Vec<u32>>, category_ops: [usize; 10]) -> DepGraph {
+        for l in &mut preds {
+            l.sort_unstable();
+            l.dedup();
+        }
+        let mut succs: Vec<Vec<u32>> = vec![Vec::new(); preds.len()];
+        for (u, l) in preds.iter().enumerate() {
+            for &s in l {
+                succs[s as usize].push(u as u32);
+            }
+        }
+        for l in &mut succs {
+            l.sort_unstable();
+            l.dedup();
+        }
+        DepGraph {
+            preds,
+            succs,
+            category_ops,
+        }
     }
 }
 
@@ -284,25 +315,24 @@ pub fn dependencies(factor: &SymbolicFactor, partition: &Partition) -> DepGraph 
         record([s, 0], 1, tgt, &mut category_ops, &mut pred_sets);
     });
 
-    let mut preds = pred_sets;
-    for l in &mut preds {
-        l.sort_unstable();
-        l.dedup();
-    }
-    let mut succs: Vec<Vec<u32>> = vec![Vec::new(); nu];
-    for (u, l) in preds.iter().enumerate() {
-        for &s in l {
-            succs[s as usize].push(u as u32);
-        }
-    }
-    for l in &mut succs {
-        l.sort_unstable();
-        l.dedup();
-    }
-    DepGraph {
-        preds,
-        succs,
-        category_ops,
+    DepGraph::assemble(pred_sets, category_ops)
+}
+
+/// Records a built graph's shape — the `partition.deps.edges` /
+/// `partition.deps.independent_units` gauges and the per-category
+/// operation counters `partition.deps.category.1` … `.10` — identically
+/// for every engine (see `docs/METRICS.md`).
+pub(crate) fn record_graph_stats(graph: &DepGraph, recorder: &Recorder) {
+    recorder.gauge("partition.deps.edges", graph.num_edges() as f64);
+    recorder.gauge(
+        "partition.deps.independent_units",
+        graph.independent_units().len() as f64,
+    );
+    for c in DepCategory::all() {
+        recorder.incr(
+            &format!("partition.deps.category.{}", c.number()),
+            graph.ops_in_category(c) as u64,
+        );
     }
 }
 
@@ -316,17 +346,7 @@ pub fn dependencies_traced(
     recorder: &Recorder,
 ) -> DepGraph {
     let graph = recorder.time("partition.deps", || dependencies(factor, partition));
-    recorder.gauge("partition.deps.edges", graph.num_edges() as f64);
-    recorder.gauge(
-        "partition.deps.independent_units",
-        graph.independent_units().len() as f64,
-    );
-    for c in DepCategory::all() {
-        recorder.incr(
-            &format!("partition.deps.category.{}", c.number()),
-            graph.ops_in_category(c) as u64,
-        );
-    }
+    record_graph_stats(&graph, recorder);
     graph
 }
 

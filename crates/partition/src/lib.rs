@@ -20,6 +20,7 @@
 pub mod block;
 pub mod cluster;
 pub mod deps;
+pub mod sweep;
 pub mod units;
 
 pub use block::{Cluster, ClusterKind, UnitBlock, UnitShape};
@@ -28,6 +29,7 @@ pub use deps::{
     dependencies, dependencies_traced, geometric_dependencies, geometric_dependencies_traced,
     DepCategory, DepGraph,
 };
+pub use sweep::{build_dependencies, build_dependencies_traced, sweep_dependencies, DepsEngine};
 pub use units::Partition;
 
 /// Tunable parameters of the partitioner.

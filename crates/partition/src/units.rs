@@ -30,6 +30,51 @@ pub struct Partition {
     pub params: PartitionParams,
     /// `owner[entry_id] = unit id` for every factor entry.
     owner: Vec<u32>,
+    /// Per-cluster geometry tables, parallel to `clusters` — retained so
+    /// geometry-level engines (the deps sweep) can map `(row, column)` to
+    /// its owning unit without per-element work, using the *same* tables
+    /// the ownership map was built from.
+    layouts: Vec<ClusterLayout>,
+}
+
+/// One below-diagonal dense rectangle of a strip, split into a grid of
+/// sub-rectangle units laid out row-major from `first_unit`.
+#[derive(Clone, Debug)]
+pub(crate) struct RectGrid {
+    /// The rectangle's full row extent (one maximal run of dense rows).
+    pub rows: Interval,
+    /// Row chunks, ascending and contiguous, tiling `rows`.
+    pub row_chunks: Vec<Interval>,
+    /// Column chunks, ascending and contiguous, tiling the strip columns.
+    pub col_chunks: Vec<Interval>,
+    /// Unit id of chunk `(r, c)` is `first_unit + r * col_chunks.len() + c`.
+    pub first_unit: u32,
+}
+
+/// The geometry lookup table of one cluster: which unit owns `(i, j)` for
+/// any stored entry with `j` in the cluster. Built once by
+/// [`Partition::from_clusters`] and kept on the [`Partition`] so both the
+/// ownership map and the sweep-based dependency engine resolve ownership
+/// from identical data.
+#[derive(Clone, Debug)]
+pub(crate) enum ClusterLayout {
+    /// Single-column cluster: one unit owns the whole column.
+    Single {
+        /// The unit id.
+        unit: u32,
+    },
+    /// A supernodal strip: a split dense triangle plus below-rectangles.
+    Strip {
+        /// Diagonal chunk extents of the triangle, ascending.
+        tri_chunks: Vec<Interval>,
+        /// Unit id of diagonal sub-triangle `d`.
+        tri_unit: Vec<u32>,
+        /// Unit id of interior sub-rectangle `(r, c)`, `r > c`, indexed
+        /// `r * t + c` (`u32::MAX` where `r <= c`).
+        tri_rect_unit: Vec<u32>,
+        /// Below-rectangle grids, in ascending row order.
+        rects: Vec<RectGrid>,
+    },
 }
 
 /// Splits `extent` into `t` near-equal contiguous chunks.
@@ -159,24 +204,7 @@ impl Partition {
     ) -> Partition {
         let n = factor.n();
         let mut units: Vec<UnitBlock> = Vec::new();
-        // Per-cluster lookup tables for ownership resolution.
-        struct StripTables {
-            /// Diagonal chunk extents of the triangle.
-            tri_chunks: Vec<Interval>,
-            /// unit id of diagonal sub-triangle `d`.
-            tri_unit: Vec<usize>,
-            /// unit id of interior sub-rectangle `(r, c)`, `r > c`,
-            /// indexed `r * t + c`.
-            tri_rect_unit: Vec<usize>,
-            /// For each below-rectangle: (row extent, row chunks, col
-            /// chunks, first unit id laid out row-major).
-            rects: Vec<(Interval, Vec<Interval>, Vec<Interval>, usize)>,
-        }
-        enum Table {
-            Single(usize),
-            Strip(StripTables),
-        }
-        let mut tables: Vec<Table> = Vec::with_capacity(clusters.len());
+        let mut layouts: Vec<ClusterLayout> = Vec::with_capacity(clusters.len());
 
         for cl in &clusters {
             match &cl.kind {
@@ -189,7 +217,7 @@ impl Partition {
                         elements: 0,
                         work: 0,
                     });
-                    tables.push(Table::Single(id));
+                    layouts.push(ClusterLayout::Single { unit: id as u32 });
                 }
                 ClusterKind::Strip { rect_rows } => {
                     let w = cl.width();
@@ -206,11 +234,11 @@ impl Partition {
                             elements: 0,
                             work: 0,
                         });
-                        tri_unit.push(id);
+                        tri_unit.push(id as u32);
                     }
                     // Interior sub-rectangles, top to bottom then left to
                     // right: rows r = 1..t, cols c = 0..r.
-                    let mut tri_rect_unit = vec![usize::MAX; t * t];
+                    let mut tri_rect_unit = vec![u32::MAX; t * t];
                     for r in 1..t {
                         for c in 0..r {
                             let id = units.len();
@@ -224,7 +252,7 @@ impl Partition {
                                 elements: 0,
                                 work: 0,
                             });
-                            tri_rect_unit[r * t + c] = id;
+                            tri_rect_unit[r * t + c] = id as u32;
                         }
                     }
                     // Below-rectangles, top to bottom; each split into a
@@ -250,14 +278,19 @@ impl Partition {
                                 });
                             }
                         }
-                        rects.push((rr, row_chunks, col_chunks, first));
+                        rects.push(RectGrid {
+                            rows: rr,
+                            row_chunks,
+                            col_chunks,
+                            first_unit: first as u32,
+                        });
                     }
-                    tables.push(Table::Strip(StripTables {
+                    layouts.push(ClusterLayout::Strip {
                         tri_chunks,
                         tri_unit,
                         tri_rect_unit,
                         rects,
-                    }));
+                    });
                 }
             }
         }
@@ -271,28 +304,33 @@ impl Partition {
         let mut owner = vec![u32::MAX; factor.num_entries()];
         let resolve = |i: usize, j: usize| -> u32 {
             let cid = col_cluster[j];
-            match &tables[cid] {
-                Table::Single(u) => *u as u32,
-                Table::Strip(t) => {
+            match &layouts[cid] {
+                ClusterLayout::Single { unit } => *unit,
+                ClusterLayout::Strip {
+                    tri_chunks,
+                    tri_unit,
+                    tri_rect_unit,
+                    rects,
+                } => {
                     let cl = &clusters[cid];
                     if i <= cl.cols.hi {
                         // Triangle element.
-                        let r = chunk_of(&t.tri_chunks, i);
-                        let c = chunk_of(&t.tri_chunks, j);
+                        let r = chunk_of(tri_chunks, i);
+                        let c = chunk_of(tri_chunks, j);
                         debug_assert!(r >= c);
                         if r == c {
-                            t.tri_unit[r] as u32
+                            tri_unit[r]
                         } else {
-                            t.tri_rect_unit[r * t.tri_chunks.len() + c] as u32
+                            tri_rect_unit[r * tri_chunks.len() + c]
                         }
                     } else {
                         // Below-rectangle element: find the run holding i.
-                        let ri = t.rects.partition_point(|(rr, ..)| rr.hi < i);
-                        let (rr, row_chunks, col_chunks, first) = &t.rects[ri];
-                        debug_assert!(rr.contains(i));
-                        let r = chunk_of(row_chunks, i);
-                        let c = chunk_of(col_chunks, j);
-                        (first + r * col_chunks.len() + c) as u32
+                        let ri = rects.partition_point(|g| g.rows.hi < i);
+                        let g = &rects[ri];
+                        debug_assert!(g.rows.contains(i));
+                        let r = chunk_of(&g.row_chunks, i);
+                        let c = chunk_of(&g.col_chunks, j);
+                        g.first_unit + (r * g.col_chunks.len() + c) as u32
                     }
                 }
             }
@@ -334,6 +372,7 @@ impl Partition {
             units,
             params,
             owner,
+            layouts,
         }
     }
 
@@ -348,6 +387,56 @@ impl Partition {
     /// The raw ownership map, indexed by factor entry id.
     pub fn owner_map(&self) -> &[u32] {
         &self.owner
+    }
+
+    /// Appends the *ownership segmentation* of column `j` to `out`:
+    /// disjoint row intervals in ascending order, each tagged with the
+    /// unit that owns every stored entry `(i, j)` with `i` in the
+    /// interval. Together the segments cover all rows `i >= j` that can
+    /// hold a stored entry of column `j` (the first segment may extend
+    /// above `j`; ownership queries are only meaningful at stored
+    /// entries).
+    ///
+    /// This is the closed-form view of [`unit_of`](Self::unit_of) that
+    /// the sweep dependency engine walks: within one segment the owner is
+    /// constant, so per-element resolution collapses to binary searches
+    /// over segment boundaries. The segments are derived from the same
+    /// retained layout tables that built the ownership map, so the two
+    /// views can never disagree.
+    pub fn column_ownership(&self, j: usize, out: &mut Vec<(Interval, u32)>) {
+        let cid = self.clusters.partition_point(|c| c.cols.hi < j);
+        debug_assert!(self.clusters[cid].cols.contains(j));
+        match &self.layouts[cid] {
+            ClusterLayout::Single { unit } => {
+                let n = self.clusters.last().map_or(j, |c| c.cols.hi);
+                out.push((Interval::new(j, n), *unit));
+            }
+            ClusterLayout::Strip {
+                tri_chunks,
+                tri_unit,
+                tri_rect_unit,
+                rects,
+            } => {
+                let t = tri_chunks.len();
+                let jc = tri_chunks.partition_point(|c| c.hi < j);
+                for r in jc..t {
+                    let unit = if r == jc {
+                        tri_unit[r]
+                    } else {
+                        tri_rect_unit[r * t + jc]
+                    };
+                    out.push((tri_chunks[r], unit));
+                }
+                for g in rects {
+                    let c = g.col_chunks.partition_point(|cc| cc.hi < j);
+                    debug_assert!(g.col_chunks[c].contains(j));
+                    let pc = g.col_chunks.len();
+                    for (r, rc) in g.row_chunks.iter().enumerate() {
+                        out.push((*rc, g.first_unit + (r * pc + c) as u32));
+                    }
+                }
+            }
+        }
     }
 
     /// Number of unit blocks.
@@ -529,6 +618,39 @@ mod tests {
         // Cluster ids are non-decreasing along the unit list.
         for w in part.units.windows(2) {
             assert!(w[0].cluster <= w[1].cluster);
+        }
+    }
+
+    #[test]
+    fn column_ownership_matches_unit_of() {
+        // The segmentation view must agree with the per-entry ownership
+        // map at every stored entry, for several grains and the wrap
+        // (per-column) layout.
+        let p = gen::lap9(10, 10);
+        let f = factor_of(&p);
+        let mut parts: Vec<Partition> = [1usize, 4, 25]
+            .iter()
+            .map(|&g| Partition::build(&f, &PartitionParams::with_grain(g)))
+            .collect();
+        parts.push(Partition::columns(&f));
+        for part in &parts {
+            let mut segs: Vec<(Interval, u32)> = Vec::new();
+            for j in 0..f.n() {
+                segs.clear();
+                part.column_ownership(j, &mut segs);
+                for w in segs.windows(2) {
+                    assert!(w[0].0.hi < w[1].0.lo, "segments overlap or misorder");
+                }
+                let lookup = |i: usize| -> usize {
+                    let s = segs.partition_point(|(iv, _)| iv.hi < i);
+                    assert!(segs[s].0.contains(i), "row {i} uncovered in col {j}");
+                    segs[s].1 as usize
+                };
+                assert_eq!(lookup(j), part.unit_of(&f, j, j), "diag ({j},{j})");
+                for &i in f.col(j) {
+                    assert_eq!(lookup(i), part.unit_of(&f, i, j), "({i},{j})");
+                }
+            }
         }
     }
 

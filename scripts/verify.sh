@@ -35,6 +35,9 @@ grep -q "deny(clippy::unwrap_used, clippy::expect_used)" crates/matrix/src/lib.r
 echo "==> mp cross-validation: executed runtime vs analytic simulator"
 cargo test -q -p spfactor --test mp_cross_validation
 
+echo "==> deps equivalence smoke: sweep engines vs element oracle"
+cargo test -q -p spfactor --test deps_equivalence deps_engines_identical_on_all_paper_matrices
+
 echo "==> chaos smoke: seeded fault injection cross-validates exactly"
 cargo test -q -p spfactor --test chaos_mp chaos_smoke
 cargo test -q -p spfactor-matrix --test io_robustness
@@ -57,13 +60,23 @@ rm -f "$metrics_json"
 echo "==> bench smoke run: schema of BENCH_pipeline.json"
 bench_json="$(mktemp)"
 scripts/bench.sh --smoke --out "$bench_json" > /dev/null
-for field in '"schema": "spfactor-bench-pipeline/1"' \
-             '"large_grid_speedup"' '"matrices"' '"phases_ms"' \
+for field in '"schema": "spfactor-bench-pipeline/2"' \
+             '"large_grid_speedup"' '"large_grid_deps_speedup"' \
+             '"matrices"' '"phases_ms"' \
+             '"deps_ms"' '"sweep_parallel"' \
+             '"speedup_deps_sweep_parallel_over_element"' \
+             '"order_alt"' '"amd_factor_entries"' \
              '"simulate_ms"' '"block_parallel"' \
              '"speedup_block_parallel_over_element"'; do
   grep -qF "$field" "$bench_json" \
     || { echo "bench JSON missing $field"; exit 1; }
 done
 rm -f "$bench_json"
+
+echo "==> docs: every docs/*.md is linked from README.md"
+for doc in docs/*.md; do
+  grep -qF "$doc" README.md \
+    || { echo "README.md does not link $doc"; exit 1; }
+done
 
 echo "OK: all verification steps passed"

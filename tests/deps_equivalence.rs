@@ -1,0 +1,108 @@
+//! Pinned equivalence: every dependency-analysis engine must return
+//! bit-identical graphs on every paper matrix, for every thread count.
+//!
+//! The element engine is the oracle — it replays each update and scaling
+//! operation and classifies it one at a time. The sweep engines derive
+//! the same graph in closed form from per-column ownership segmentations,
+//! so any divergence here means the segment algebra (or the parallel
+//! cluster split / merge) mislabels an operation. Equality is full
+//! [`spfactor::DepGraph`] equality: predecessor and successor *sets* plus
+//! the exact operation count in each of the paper's ten categories.
+
+use proptest::prelude::*;
+use spfactor::partition::{build_dependencies, dependencies, sweep_dependencies};
+use spfactor::{DepsEngine, Pipeline, PipelineResult, Scheme};
+
+/// Thread counts the parallel driver is pinned at, bracketing the
+/// cluster-range splitter: serial, even, odd, and more threads than most
+/// small matrices have clusters.
+const THREADS: [usize; 4] = [1, 2, 5, 16];
+
+fn assert_engines_agree(result: &PipelineResult, name: &str) {
+    let oracle = dependencies(&result.factor, &result.partition);
+    assert_eq!(
+        oracle, result.deps,
+        "{name}: pipeline deps diverge from oracle"
+    );
+    for engine in [DepsEngine::Sweep, DepsEngine::SweepParallel] {
+        let got = build_dependencies(engine, &result.factor, &result.partition);
+        assert_eq!(got, oracle, "{name}: {engine:?} diverges from element");
+    }
+    for threads in THREADS {
+        let got = sweep_dependencies(&result.factor, &result.partition, threads);
+        assert_eq!(got, oracle, "{name}: sweep T={threads} diverges");
+    }
+}
+
+#[test]
+fn deps_engines_identical_on_all_paper_matrices() {
+    for m in spfactor::matrix::gen::paper::all() {
+        for grain in [4usize, 25] {
+            let r = Pipeline::new(m.pattern.clone()).grain(grain).run();
+            assert_engines_agree(&r, &format!("{} g={grain}", m.name));
+        }
+    }
+}
+
+#[test]
+fn deps_engines_identical_on_wrap_scheme() {
+    for m in spfactor::matrix::gen::paper::all() {
+        let r = Pipeline::new(m.pattern.clone()).scheme(Scheme::Wrap).run();
+        assert_engines_agree(&r, &format!("{} wrap", m.name));
+    }
+}
+
+#[test]
+fn deps_engines_identical_with_relaxed_clusters() {
+    // Zero relaxation widens strips (explicit zeros inside triangles),
+    // stressing segments whose rows are not all stored entries.
+    let m = spfactor::matrix::gen::paper::lap30();
+    let mut params = spfactor::PartitionParams::with_grain(4);
+    params.relax_zeros = 2;
+    params.min_cluster_width = 2;
+    let r = Pipeline::new(m.pattern).params(params).run();
+    assert_engines_agree(&r, "lap30 relaxed");
+}
+
+#[test]
+fn deps_engines_identical_on_scaled_grid() {
+    let grid = spfactor::matrix::gen::paper::lap_grid(24);
+    let r = Pipeline::new(grid.pattern).grain(25).run();
+    assert_engines_agree(&r, grid.name);
+}
+
+/// Random connected-ish symmetric pattern: a random geometric graph of
+/// `n` points with mean degree `deg` (the strategy of
+/// `tests/property_pipeline.rs`).
+fn arb_pattern() -> impl Strategy<Value = spfactor::SymmetricPattern> {
+    (5usize..100, 2.0f64..8.0, any::<u64>()).prop_map(|(n, deg, seed)| {
+        let r = (deg / (std::f64::consts::PI * n as f64)).sqrt();
+        spfactor::matrix::gen::random_geometric(n, r, seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn prop_deps_engines_agree(
+        pattern in arb_pattern(),
+        grain in 1usize..30,
+        width in 1usize..8,
+        relax in 0usize..3,
+        threads in 1usize..9,
+    ) {
+        let mut params = spfactor::PartitionParams::with_grain(grain);
+        params.min_cluster_width = width;
+        params.relax_zeros = relax;
+        let r = Pipeline::new(pattern).params(params).run();
+        let oracle = dependencies(&r.factor, &r.partition);
+        prop_assert_eq!(
+            &oracle,
+            &r.deps,
+            "pipeline default diverges from oracle"
+        );
+        let swept = sweep_dependencies(&r.factor, &r.partition, threads);
+        prop_assert_eq!(&swept, &oracle, "sweep T={} diverges", threads);
+    }
+}

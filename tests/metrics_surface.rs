@@ -317,6 +317,64 @@ mod enabled {
     }
 
     #[test]
+    fn sweep_deps_engine_emits_its_surface() {
+        // Selecting a sweep engine swaps the deps span: the element span
+        // `partition.deps` disappears and the engine span plus the
+        // deps.engine.* counters appear, while the shared graph gauges
+        // and category counters keep their values (docs/METRICS.md).
+        let rec = Arc::new(Recorder::new());
+        let m = spfactor::matrix::gen::paper::lap30();
+        let result = Pipeline::new(m.pattern)
+            .grain(4)
+            .processors(16)
+            .deps_engine(spfactor::DepsEngine::Sweep)
+            .with_recorder(rec.clone())
+            .run();
+        let stats = rec
+            .span_stats("deps.engine.sweep")
+            .expect("sweep engine span");
+        assert_eq!(stats.count, 1);
+        assert!(rec.span_stats("partition.deps").is_none());
+        assert_eq!(rec.counter("deps.engine.columns"), result.factor.n() as u64);
+        let nnz: u64 = (0..result.factor.n())
+            .map(|j| result.factor.col_count(j) as u64)
+            .sum();
+        assert_eq!(rec.counter("deps.engine.pairs"), nnz);
+        assert!(rec.counter("deps.engine.segments") >= nnz);
+        assert_eq!(rec.gauge_value("deps.engine.threads"), Some(1.0));
+        // Shared gauges and category counters agree with the returned
+        // graph (and therefore with what the element engine records).
+        assert_eq!(
+            rec.gauge_value("partition.deps.edges"),
+            Some(result.deps.num_edges() as f64)
+        );
+        assert_eq!(
+            rec.gauge_value("partition.deps.independent_units"),
+            Some(result.deps.independent_units().len() as f64)
+        );
+        for c in spfactor::partition::DepCategory::all() {
+            assert_eq!(
+                rec.counter(&format!("partition.deps.category.{}", c.number())),
+                result.deps.ops_in_category(c) as u64,
+                "category {c:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn order_alg_counter_names_the_method() {
+        let (_result, rec) = run_lap30_block();
+        assert_eq!(rec.counter("order.alg.mmd"), 1);
+        let rec2 = Arc::new(Recorder::new());
+        Pipeline::new(spfactor::matrix::gen::lap9(6, 6))
+            .ordering(spfactor::Ordering::ApproximateMinimumDegree)
+            .with_recorder(rec2.clone())
+            .run();
+        assert_eq!(rec2.counter("order.alg.amd"), 1);
+        assert_eq!(rec2.counter("order.alg.mmd"), 0);
+    }
+
+    #[test]
     fn wrap_scheme_records_its_own_branch() {
         let rec = Arc::new(Recorder::new());
         let result = Pipeline::new(spfactor::matrix::gen::lap9(10, 10))
