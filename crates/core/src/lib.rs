@@ -75,6 +75,9 @@ pub use spfactor_partition::{DepGraph, DepsEngine, Partition, PartitionParams};
 pub use spfactor_sched::Assignment;
 pub use spfactor_simulate::{SimulateEngine, TrafficReport, WorkReport};
 pub use spfactor_symbolic::SymbolicFactor;
+pub use spfactor_trace::{CriticalPathReport, Timeline, TimelineSink};
+
+use spfactor_simulate::timed::{simulate_timed_observed, CommModel, OrderPolicy, TimedReport};
 
 /// Workspace-wide error taxonomy: every way the stack can fail, as a
 /// value. Matrix construction and IO failures, numeric factorization
@@ -183,6 +186,26 @@ pub enum ExecutionBackend {
 /// the pipeline's (pattern-only) input.
 const EXECUTION_VALUES_SEED: u64 = 42;
 
+/// Bottleneck units kept in the pipeline's critical-path report.
+const TIMELINE_TOP_K: usize = 10;
+
+/// Timelines captured when the pipeline runs with
+/// [`Pipeline::timeline`]`(true)`.
+#[derive(Clone, Debug)]
+pub struct TimelineCapture {
+    /// Virtual-clock event timeline from the timed simulator.
+    pub simulated: Timeline,
+    /// The timed report the simulated timeline reconciles against
+    /// exactly (same makespan, bitwise-equal per-processor busy).
+    pub timed: TimedReport,
+    /// Critical-path attribution of the simulated timeline: the longest
+    /// chain's compute/transfer/wait breakdown sums to the makespan.
+    pub critical_path: CriticalPathReport,
+    /// Wall-clock event timeline observed by the message-passing
+    /// runtime; `None` under [`ExecutionBackend::Analytic`].
+    pub executed: Option<Timeline>,
+}
+
 /// End-to-end driver: ordering → symbolic factorization → partitioning →
 /// scheduling → simulation, with the paper's defaults.
 #[derive(Clone, Debug)]
@@ -197,6 +220,7 @@ pub struct Pipeline {
     deps_engine: DepsEngine,
     fault_plan: Option<FaultPlan>,
     recorder: Option<Arc<Recorder>>,
+    timeline: bool,
 }
 
 impl Pipeline {
@@ -215,6 +239,7 @@ impl Pipeline {
             deps_engine: DepsEngine::Element,
             fault_plan: None,
             recorder: None,
+            timeline: false,
         }
     }
 
@@ -378,6 +403,39 @@ impl Pipeline {
         self
     }
 
+    /// Enables event-timeline capture (default: off). The pipeline then
+    /// additionally runs the event-driven timed simulator
+    /// ([`simulate::timed`], default [`simulate::timed::CommModel`],
+    /// scan-order policy) with a [`TimelineSink`] attached and stores a
+    /// [`TimelineCapture`] in [`PipelineResult::timeline`]: the
+    /// virtual-clock [`Timeline`], its [`TimedReport`], and the
+    /// critical-path attribution. Under
+    /// [`ExecutionBackend::MessagePassing`] the runtime records a
+    /// wall-clock timeline too ([`TimelineCapture::executed`]). Export
+    /// either with [`Timeline::to_chrome_trace`] /
+    /// [`Timeline::to_chrome_trace_scaled`] — see
+    /// `docs/OBSERVABILITY.md`.
+    ///
+    /// ```
+    /// use spfactor::Pipeline;
+    ///
+    /// let r = Pipeline::new(spfactor::matrix::gen::lap9(6, 6))
+    ///     .processors(4)
+    ///     .timeline(true)
+    ///     .run();
+    /// let tl = r.timeline.as_ref().unwrap();
+    /// // The timeline reconciles exactly with the timed report, and the
+    /// // critical path attributes the whole makespan.
+    /// tl.simulated
+    ///     .reconcile(&tl.timed.busy, tl.timed.makespan, 1e-9)
+    ///     .unwrap();
+    /// assert!(!tl.critical_path.hops.is_empty());
+    /// ```
+    pub fn timeline(mut self, on: bool) -> Self {
+        self.timeline = on;
+        self
+    }
+
     /// Checks the builder parameters, returning the first violation as a
     /// typed error instead of a downstream panic.
     fn validate(&self) -> Result<(), PipelineError> {
@@ -501,6 +559,41 @@ impl Pipeline {
             }
         };
 
+        // Virtual-clock timeline: re-run the schedule through the timed
+        // simulator with a sink attached and analyze the event DAG.
+        let simulated = if self.timeline {
+            let _phase = rec.map(|r| r.span("phase.timeline"));
+            let sink = TimelineSink::new();
+            let timed = simulate_timed_observed(
+                &factor,
+                &partition,
+                &deps,
+                &assignment,
+                &CommModel::default(),
+                OrderPolicy::ScanOrder,
+                rec,
+                Some(&sink),
+            );
+            let timeline = sink.finish();
+            let critical_path = timeline.critical_path(TIMELINE_TOP_K);
+            if let Some(r) = rec {
+                r.gauge("timeline.events", timeline.events.len() as f64);
+                r.gauge("timeline.makespan", timed.makespan);
+                r.gauge("timeline.critical.hops", critical_path.hops.len() as f64);
+                r.gauge("timeline.critical.compute", critical_path.compute);
+                r.gauge("timeline.critical.transfer", critical_path.transfer);
+                r.gauge("timeline.critical.wait", critical_path.wait);
+            }
+            Some((timeline, timed, critical_path))
+        } else {
+            None
+        };
+
+        let mp_sink = if self.timeline {
+            Some(TimelineSink::new())
+        } else {
+            None
+        };
         let execution = match self.execution {
             ExecutionBackend::Analytic => None,
             ExecutionBackend::MessagePassing(model) => {
@@ -513,17 +606,33 @@ impl Pipeline {
                     },
                     None => mp::MpConfig::reliable(model),
                 };
-                let report = match rec {
-                    Some(r) => {
-                        mp::execute_traced(&a, &factor, &partition, &deps, &assignment, &config, r)
-                    }
-                    None => {
-                        mp::execute_config(&a, &factor, &partition, &deps, &assignment, &config)
-                    }
-                }?;
+                let report = mp::execute_observed(
+                    &a,
+                    &factor,
+                    &partition,
+                    &deps,
+                    &assignment,
+                    &config,
+                    rec,
+                    mp_sink.as_ref(),
+                )?;
                 Some(report)
             }
         };
+
+        let timeline = simulated.map(|(simulated, timed, critical_path)| {
+            let executed = mp_sink.map(|s| s.finish()).filter(|t| !t.events.is_empty());
+            if let (Some(r), Some(t)) = (rec, executed.as_ref()) {
+                r.gauge("timeline.mp.events", t.events.len() as f64);
+                r.gauge("timeline.mp.makespan", t.makespan());
+            }
+            TimelineCapture {
+                simulated,
+                timed,
+                critical_path,
+                executed,
+            }
+        });
 
         Ok(PipelineResult {
             permutation: perm,
@@ -534,6 +643,7 @@ impl Pipeline {
             traffic,
             work,
             execution,
+            timeline,
             recorder,
         })
     }
@@ -560,6 +670,9 @@ pub struct PipelineResult {
     /// [`ExecutionBackend::MessagePassing`]; `None` under
     /// [`ExecutionBackend::Analytic`].
     pub execution: Option<MpReport>,
+    /// Event timelines and critical-path attribution, when the pipeline
+    /// ran with [`Pipeline::timeline`]`(true)`.
+    pub timeline: Option<TimelineCapture>,
     /// The recorder attached via [`Pipeline::with_recorder`], if any.
     recorder: Option<Arc<Recorder>>,
 }
@@ -733,6 +846,72 @@ mod tests {
             err,
             SpfactorError::Execution(MpError::ProcessorCrashed { proc: 0, .. })
         ));
+    }
+
+    #[test]
+    fn timeline_capture_reconciles_and_attributes_makespan() {
+        let p = gen::lap9(8, 8);
+        let r = Pipeline::new(p.clone()).processors(4).timeline(true).run();
+        let tl = r.timeline.as_ref().expect("timeline captured");
+        tl.simulated
+            .reconcile(&tl.timed.busy, tl.timed.makespan, 1e-9)
+            .expect("simulated timeline reconciles");
+        let attributed =
+            tl.critical_path.compute + tl.critical_path.transfer + tl.critical_path.wait;
+        assert!((attributed - tl.timed.makespan).abs() <= 1e-9);
+        assert!(tl.executed.is_none(), "analytic backend records no mp run");
+        // Off by default.
+        let plain = Pipeline::new(p).processors(4).run();
+        assert!(plain.timeline.is_none());
+    }
+
+    #[test]
+    fn timeline_capture_includes_mp_run_under_message_passing() {
+        let r = Pipeline::new(gen::lap9(8, 8))
+            .processors(4)
+            .backend(ExecutionBackend::MessagePassing(NetworkModel::default()))
+            .timeline(true)
+            .run();
+        let tl = r.timeline.as_ref().expect("timeline captured");
+        let executed = tl.executed.as_ref().expect("mp timeline captured");
+        assert_eq!(executed.nprocs(), 4);
+        assert!(executed.makespan() > 0.0);
+        // Both timelines cover every unit.
+        let units = r.partition.num_units();
+        let count_ends = |t: &Timeline| {
+            t.events
+                .iter()
+                .filter(|e| matches!(e.kind, trace::EventKind::UnitEnd { .. }))
+                .count()
+        };
+        assert_eq!(count_ends(&tl.simulated), units);
+        assert_eq!(count_ends(executed), units);
+    }
+
+    #[test]
+    fn timeline_gauges_are_recorded() {
+        let rec = Arc::new(Recorder::new());
+        let r = Pipeline::new(gen::lap9(6, 6))
+            .processors(4)
+            .timeline(true)
+            .with_recorder(rec.clone())
+            .run();
+        let tl = r.timeline.as_ref().unwrap();
+        if rec.is_enabled() {
+            assert_eq!(
+                rec.gauge_value("timeline.events"),
+                Some(tl.simulated.events.len() as f64)
+            );
+            assert_eq!(
+                rec.gauge_value("timeline.makespan"),
+                Some(tl.timed.makespan)
+            );
+            assert_eq!(
+                rec.gauge_value("timeline.critical.hops"),
+                Some(tl.critical_path.hops.len() as f64)
+            );
+            assert!(rec.span_stats("phase.timeline").is_some());
+        }
     }
 
     #[test]

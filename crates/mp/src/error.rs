@@ -8,6 +8,34 @@
 use crate::fault::FaultTrace;
 use spfactor_numeric::NumericError;
 
+/// The last protocol step a processor was seen entering, snapshotted
+/// when the stall watchdog fires so a wedge diagnosis can say where
+/// every processor was stuck without re-running the schedule.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProcLastEvent {
+    /// The processor the observation belongs to.
+    pub proc: usize,
+    /// Protocol step name: `"spawn"`, `"await_deps"`, `"prefetch"`,
+    /// `"await_replies"`, `"stall"`, `"execute"`, `"finished"` or
+    /// `"crashed"`. Steps stop updating once the shutdown verdict is
+    /// seen, so the slot keeps the last *productive* step.
+    pub step: &'static str,
+    /// Unit block the step concerned (`u32::MAX` before the first).
+    pub unit: u32,
+    /// Seconds since the run epoch when the step was entered.
+    pub at: f64,
+}
+
+impl std::fmt::Display for ProcLastEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{} {}", self.proc, self.step)?;
+        if self.unit != u32::MAX {
+            write!(f, " u{}", self.unit)?;
+        }
+        write!(f, " @{:.3}s", self.at)
+    }
+}
+
 /// Why a message-passing execution failed.
 #[derive(Clone, Debug, PartialEq)]
 pub enum MpError {
@@ -58,6 +86,10 @@ pub enum MpError {
         finished: usize,
         /// Total processors.
         nprocs: usize,
+        /// The last protocol step each processor was seen entering —
+        /// one entry per processor, indexed by processor id. (Boxed
+        /// slice rather than `Vec` to keep the error variant small.)
+        last_events: Box<[ProcLastEvent]>,
         /// Faults observed machine-wide up to the abort.
         trace: FaultTrace,
     },
@@ -100,12 +132,19 @@ impl std::fmt::Display for MpError {
             MpError::WatchdogTimeout {
                 finished,
                 nprocs,
+                last_events,
                 trace,
-            } => write!(
-                f,
-                "stall watchdog fired with {finished}/{nprocs} processors \
-                 finished (faults: {trace})"
-            ),
+            } => {
+                write!(
+                    f,
+                    "stall watchdog fired with {finished}/{nprocs} processors \
+                     finished (faults: {trace}); last seen:"
+                )?;
+                for (i, e) in last_events.iter().enumerate() {
+                    write!(f, "{} {e}", if i == 0 { "" } else { "," })?;
+                }
+                Ok(())
+            }
             MpError::WorkerPanic { proc } => {
                 write!(f, "virtual processor {proc} panicked")
             }
@@ -160,5 +199,32 @@ mod tests {
         assert!(s.contains("processor 1") && s.contains("processor 2") && s.contains('8'));
         assert!(e.trace().is_some());
         assert!(MpError::WorkerPanic { proc: 0 }.trace().is_none());
+    }
+
+    #[test]
+    fn watchdog_display_lists_last_seen_steps() {
+        let e = MpError::WatchdogTimeout {
+            finished: 1,
+            nprocs: 2,
+            last_events: Box::new([
+                ProcLastEvent {
+                    proc: 0,
+                    step: "finished",
+                    unit: u32::MAX,
+                    at: 0.5,
+                },
+                ProcLastEvent {
+                    proc: 1,
+                    step: "await_deps",
+                    unit: 7,
+                    at: 0.25,
+                },
+            ]),
+            trace: FaultTrace::default(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("1/2"), "{s}");
+        assert!(s.contains("p0 finished"), "{s}");
+        assert!(s.contains("p1 await_deps u7"), "{s}");
     }
 }

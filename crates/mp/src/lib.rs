@@ -88,9 +88,9 @@ pub mod error;
 pub mod fault;
 pub mod runtime;
 
-pub use error::MpError;
+pub use error::{MpError, ProcLastEvent};
 pub use fault::{CrashPlan, FaultPlan, FaultTrace, MpConfig, RetryPolicy, StallPlan};
-pub use runtime::{execute_config, execute_with};
+pub use runtime::{execute_config, execute_config_observed, execute_with};
 
 use spfactor_matrix::SymmetricCsc;
 use spfactor_numeric::NumericFactor;
@@ -98,7 +98,7 @@ use spfactor_partition::{DepGraph, Partition};
 use spfactor_sched::Assignment;
 use spfactor_simulate::{TrafficReport, WorkReport};
 use spfactor_symbolic::SymbolicFactor;
-use spfactor_trace::Recorder;
+use spfactor_trace::{Recorder, TimelineSink};
 
 /// Cost model of the virtual network and processors.
 ///
@@ -306,9 +306,51 @@ pub fn execute_traced(
     config: &MpConfig,
     recorder: &Recorder,
 ) -> Result<MpReport, MpError> {
-    let report = recorder.time("mp.execute", || {
-        runtime::execute_config(a, symbolic, partition, deps, assignment, config)
-    })?;
+    execute_observed(
+        a,
+        symbolic,
+        partition,
+        deps,
+        assignment,
+        config,
+        Some(recorder),
+        None,
+    )
+}
+
+/// The fully observable entry point: [`execute_config`] with an
+/// optional [`Recorder`] (spans, `mp.*` counters and gauges — exactly
+/// [`execute_traced`]'s surface) and an optional [`TimelineSink`]
+/// collecting the wall-clock event timeline
+/// ([`runtime::execute_config_observed`]). Either observer may be
+/// omitted independently; with both `None` this is plain
+/// [`execute_config`].
+#[allow(clippy::too_many_arguments)]
+pub fn execute_observed(
+    a: &SymmetricCsc,
+    symbolic: &SymbolicFactor,
+    partition: &Partition,
+    deps: &DepGraph,
+    assignment: &Assignment,
+    config: &MpConfig,
+    recorder: Option<&Recorder>,
+    sink: Option<&TimelineSink>,
+) -> Result<MpReport, MpError> {
+    let run =
+        || runtime::execute_config_observed(a, symbolic, partition, deps, assignment, config, sink);
+    let report = match recorder {
+        Some(rec) => rec.time("mp.execute", run)?,
+        None => run()?,
+    };
+    if let Some(rec) = recorder {
+        record_mp_metrics(rec, &report);
+    }
+    Ok(report)
+}
+
+/// Bumps the `mp.*` counters and gauges for a completed run (the metric
+/// surface documented on [`execute_traced`]).
+fn record_mp_metrics(recorder: &Recorder, report: &MpReport) {
     let sum = |f: fn(&ProcStats) -> usize| report.per_proc.iter().map(f).sum::<usize>() as u64;
     recorder.incr("mp.msgs_sent", sum(|s| s.msgs_sent));
     recorder.incr("mp.bytes", sum(|s| s.bytes_sent));
@@ -345,7 +387,6 @@ pub fn execute_traced(
         recorder.gauge(&format!("mp.proc.{p}.work"), s.work as f64);
         recorder.gauge(&format!("mp.proc.{p}.msgs_sent"), s.msgs_sent as f64);
     }
-    Ok(report)
 }
 
 #[cfg(test)]

@@ -75,6 +75,21 @@
 //! whenever a run completes, its traffic and work reports equal the
 //! analytic simulator's predictions exactly, faults or not.
 //!
+//! ## Observation
+//!
+//! [`execute_config_observed`] additionally streams a wall-clock event
+//! timeline into a [`TimelineSink`]: each worker buffers typed
+//! [`TimelineEvent`]s locally (ready/wait/start/end/transfer, stamped
+//! in seconds since a shared run epoch) and flushes the buffer once at
+//! join, so the hot path never touches the shared sink. The resulting
+//! [`spfactor_trace::Timeline`] feeds the same Chrome-trace exporter
+//! and critical-path analyzer as the virtual-clock simulator (see
+//! `docs/OBSERVABILITY.md`). Independently of capture, every worker
+//! notes the protocol step it is entering in a per-processor slot; when
+//! the stall watchdog fires, the controller snapshots those slots into
+//! [`MpError::WatchdogTimeout`]'s `last_events` so a wedge diagnosis
+//! says where each processor was stuck.
+//!
 //! ## Modeled message sizes
 //!
 //! The byte accounting charges 4 bytes per id or header word and 8 per
@@ -84,6 +99,7 @@
 //! *element* and per *message*, so the estimate is independent of this
 //! convention.
 
+use crate::error::ProcLastEvent;
 use crate::fault::{FaultInjector, FaultPlan, FaultStats, FaultTrace, MpConfig, RetryPolicy};
 use crate::{MpError, MpReport, NetworkModel, ProcStats};
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
@@ -92,7 +108,16 @@ use spfactor_numeric::{NumericError, NumericFactor};
 use spfactor_partition::{DepGraph, Partition};
 use spfactor_sched::{processor_queues, Assignment};
 use spfactor_symbolic::{ops, SymbolicFactor};
+use spfactor_trace::{EventKind, StartEdge, TimelineEvent, TimelineSink};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Sentinel unit id for "no unit yet" in timeline bookkeeping.
+const NO_UNIT: u32 = u32::MAX;
+
+/// One processor's watchdog slot: the protocol step it last entered,
+/// the unit concerned, and seconds since the run epoch.
+type LastSeen = (&'static str, u32, f64);
 
 /// Modeled wire size of a [`Msg::Done`] notification (one unit id).
 pub const DONE_BYTES: usize = 4;
@@ -204,6 +229,9 @@ struct Outcome {
     error: Option<NumericError>,
     fault: FaultStats,
     crashed: bool,
+    /// Timeline events buffered during the run (empty when no sink was
+    /// supplied); flushed into the caller's sink after the join.
+    timeline: Vec<TimelineEvent>,
 }
 
 /// How a blocked wait ended.
@@ -268,9 +296,58 @@ struct Worker<'a> {
     shutdown: Option<bool>,
     stats: ProcStats,
     fetched_from: Vec<usize>,
+    /// Run epoch shared by every processor — timeline timestamps are
+    /// seconds since this instant, one clock machine-wide.
+    epoch: Instant,
+    /// Whether a [`TimelineSink`] was supplied for this run.
+    capture: bool,
+    /// Locally buffered timeline events, flushed to the sink at join so
+    /// the hot path never takes the shared lock.
+    timeline: Vec<TimelineEvent>,
+    /// Last predecessor whose completion released each own unit — the
+    /// timeline's data-ready start-edge attribution ([`NO_UNIT`] until
+    /// the unit's final dependency lands).
+    last_pred: Vec<u32>,
+    /// Previously executed unit on this processor ([`NO_UNIT`] before
+    /// the first), for the processor-busy start edge.
+    prev_unit: u32,
+    /// Unit currently being gathered/executed, for attributing transfer
+    /// events arriving in `dispatch`.
+    current_unit: u32,
+    /// Reply elements still in flight per owning processor (timeline
+    /// bookkeeping only; protocol-level blocking uses `pending`).
+    pending_from: Vec<usize>,
+    /// Modeled bytes of the open transfer per owner, echoed into the
+    /// matching [`EventKind::TransferEnd`].
+    xfer_bytes: Vec<u64>,
+    /// This processor's watchdog slot, snapshotted by the controller on
+    /// a stall-watchdog abort.
+    last_seen: &'a Mutex<LastSeen>,
 }
 
 impl Worker<'_> {
+    /// Seconds since the shared run epoch (the timeline clock).
+    fn now(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+
+    /// Records the protocol step this processor is entering, for
+    /// watchdog diagnostics. Never called after the shutdown verdict is
+    /// seen, so an aborted run's slot keeps the last *productive* step.
+    fn note(&self, step: &'static str, unit: u32) {
+        let mut slot = self.last_seen.lock().unwrap_or_else(|e| e.into_inner());
+        *slot = (step, unit, self.now());
+    }
+
+    /// Buffers one timeline event on this processor's track.
+    fn emit(&mut self, t: f64, kind: EventKind) {
+        self.timeline.push(TimelineEvent {
+            t,
+            proc: self.me as u32,
+            kind,
+        });
+    }
+
     /// Sends one data-plane message through the fault injector, which
     /// may drop, hold, or duplicate it (and may release other held
     /// messages that came due).
@@ -314,6 +391,13 @@ impl Worker<'_> {
                 for &s in self.deps.succs(unit as usize) {
                     if self.assignment.proc_of(s as usize) == self.me {
                         self.remaining[s as usize] -= 1;
+                        if self.remaining[s as usize] == 0 {
+                            self.last_pred[s as usize] = unit;
+                            if self.capture {
+                                let t = self.now();
+                                self.emit(t, EventKind::Ready { unit: s });
+                            }
+                        }
                     }
                 }
             }
@@ -345,6 +429,23 @@ impl Worker<'_> {
                         self.inflight[id as usize] = false;
                         self.vals[id as usize] = v;
                         self.pending -= 1;
+                        if self.capture {
+                            // The owner's batch is fully installed:
+                            // close the transfer opened at prefetch.
+                            let sp = self.proc_of_entry[id as usize] as usize;
+                            self.pending_from[sp] -= 1;
+                            if self.pending_from[sp] == 0 {
+                                let t = self.now();
+                                self.emit(
+                                    t,
+                                    EventKind::TransferEnd {
+                                        unit: self.current_unit,
+                                        peer: sp as u32,
+                                        bytes: self.xfer_bytes[sp],
+                                    },
+                                );
+                            }
+                        }
                     } else {
                         self.stats.stale += 1;
                     }
@@ -572,6 +673,20 @@ impl Worker<'_> {
             }
             self.outstanding[sp] = ids.to_vec();
             self.pending += ids.len();
+            if self.capture {
+                let reply = reply_bytes(ids.len()) as u64;
+                self.pending_from[sp] = ids.len();
+                self.xfer_bytes[sp] = reply;
+                let t = self.now();
+                self.emit(
+                    t,
+                    EventKind::TransferStart {
+                        unit: self.current_unit,
+                        peer: sp as u32,
+                        bytes: reply,
+                    },
+                );
+            }
             self.stats.requests_sent += 1;
             let bytes = request_bytes(ids.len());
             self.send(
@@ -639,11 +754,23 @@ impl Worker<'_> {
         let stall = stall.map(|s| (s.every_units, s.pause));
         let mut error: Option<usize> = None;
         let mut crashed = false;
+        if self.capture {
+            // Units with no dependencies are ready the moment the
+            // machine starts.
+            for qi in 0..self.queue.len() {
+                let u = self.queue[qi];
+                if self.remaining[u as usize] == 0 {
+                    let t = self.now();
+                    self.emit(t, EventKind::Ready { unit: u });
+                }
+            }
+        }
         'program: for qi in 0..self.queue.len() {
             if let Some((after, announce)) = crash_at {
                 if qi == after {
                     // Dead: no flush, no serving — messages held in this
                     // processor's network interface die with it.
+                    self.note("crashed", self.queue[qi]);
                     crashed = true;
                     if announce {
                         let _ = self.events.send(Event::Crashed { from: self.me });
@@ -652,22 +779,77 @@ impl Worker<'_> {
                 }
             }
             let u = self.queue[qi] as usize;
+            self.current_unit = u as u32;
+            self.note("await_deps", u as u32);
+            let waited = self.remaining[u] > 0;
+            let t_wait = if self.capture { self.now() } else { 0.0 };
             if let Flow::Stop = self.await_deps(u) {
                 break 'program;
             }
+            if self.capture && waited {
+                let dur = self.now() - t_wait;
+                self.emit(
+                    t_wait,
+                    EventKind::Wait {
+                        unit: u as u32,
+                        pred: self.last_pred[u],
+                        dur,
+                    },
+                );
+            }
+            self.note("prefetch", u as u32);
             self.prefetch(u);
+            self.note("await_replies", u as u32);
             if let Flow::Stop = self.await_replies() {
                 break 'program;
             }
             if let Some((every, pause)) = stall {
                 if (qi + 1) % every == 0 {
+                    self.note("stall", u as u32);
                     self.injector.stats.stalls += 1;
                     std::thread::sleep(pause);
                 }
             }
+            self.note("execute", u as u32);
+            let t_start = if self.capture { self.now() } else { 0.0 };
             let work = Instant::now();
             let result = self.execute_unit(u);
-            self.stats.busy_ns += work.elapsed().as_nanos() as u64;
+            let elapsed = work.elapsed();
+            self.stats.busy_ns += elapsed.as_nanos() as u64;
+            if self.capture {
+                // `compute` comes from the same measured Duration as
+                // `busy_ns`, so the timeline reconciles with ProcStats.
+                let compute = elapsed.as_secs_f64();
+                let edge = if waited && self.last_pred[u] != NO_UNIT {
+                    let pred = self.last_pred[u];
+                    StartEdge::DataReady {
+                        pred,
+                        remote: self.assignment.proc_of(pred as usize) != self.me,
+                    }
+                } else if self.prev_unit != NO_UNIT {
+                    StartEdge::ProcBusy {
+                        prev: self.prev_unit,
+                    }
+                } else {
+                    StartEdge::Free
+                };
+                self.emit(
+                    t_start,
+                    EventKind::UnitStart {
+                        unit: u as u32,
+                        edge,
+                    },
+                );
+                self.emit(
+                    t_start + compute,
+                    EventKind::UnitEnd {
+                        unit: u as u32,
+                        compute,
+                        transfer: 0.0,
+                    },
+                );
+                self.prev_unit = u as u32;
+            }
             if let Err(col) = result {
                 error = Some(col);
                 break 'program;
@@ -680,6 +862,13 @@ impl Worker<'_> {
                 let p = self.assignment.proc_of(s as usize);
                 if p == self.me {
                     self.remaining[s as usize] -= 1;
+                    if self.remaining[s as usize] == 0 {
+                        self.last_pred[s as usize] = u as u32;
+                        if self.capture {
+                            let t = self.now();
+                            self.emit(t, EventKind::Ready { unit: s });
+                        }
+                    }
                 } else {
                     self.notify[p] = true;
                 }
@@ -701,6 +890,7 @@ impl Worker<'_> {
                 for (dst, m) in self.injector.flush_all() {
                     let _ = self.txs[dst].send(m);
                 }
+                self.note("finished", NO_UNIT);
                 let _ = self.events.send(Event::Finished { from: self.me });
             }
         }
@@ -714,6 +904,7 @@ impl Worker<'_> {
             vals: self.vals,
             error: error.map(NumericError::NotPositiveDefinite),
             crashed,
+            timeline: self.timeline,
         }
     }
 }
@@ -748,6 +939,24 @@ pub fn execute_config(
     deps: &DepGraph,
     assignment: &Assignment,
     config: &MpConfig,
+) -> Result<MpReport, MpError> {
+    execute_config_observed(a, symbolic, partition, deps, assignment, config, None)
+}
+
+/// [`execute_config`] with wall-clock timeline capture: when `sink` is
+/// supplied, every worker records [`TimelineEvent`]s (seconds since a
+/// shared run epoch) and flushes them into the sink after the join —
+/// including on aborted runs, so a failure still leaves a trace to
+/// inspect. Capture costs one local `Vec` push per event; without a
+/// sink the run is byte-for-byte the uninstrumented one.
+pub fn execute_config_observed(
+    a: &SymmetricCsc,
+    symbolic: &SymbolicFactor,
+    partition: &Partition,
+    deps: &DepGraph,
+    assignment: &Assignment,
+    config: &MpConfig,
+    sink: Option<&TimelineSink>,
 ) -> Result<MpReport, MpError> {
     let n = a.n();
     let nprocs = assignment.nprocs;
@@ -830,10 +1039,15 @@ pub fn execute_config(
     let (txs, rxs): (Vec<_>, Vec<_>) = (0..nprocs).map(|_| channel::unbounded::<Msg>()).unzip();
     let (event_tx, event_rx) = channel::unbounded::<Event>();
     let lossy = config.fault.lossy();
+    let epoch = Instant::now();
+    let last_seen: Vec<Mutex<LastSeen>> = (0..nprocs)
+        .map(|_| Mutex::new(("spawn", NO_UNIT, 0.0)))
+        .collect();
 
     let scope_result = crossbeam::scope(|scope| {
         let txs = &txs;
         let event_tx = &event_tx;
+        let last_seen = &last_seen;
         let handles: Vec<_> = rxs
             .into_iter()
             .enumerate()
@@ -879,6 +1093,15 @@ pub fn execute_config(
                     shutdown: None,
                     stats: ProcStats::default(),
                     fetched_from: vec![0; nprocs],
+                    epoch,
+                    capture: sink.is_some(),
+                    timeline: Vec::new(),
+                    last_pred: vec![NO_UNIT; nu],
+                    prev_unit: NO_UNIT,
+                    current_unit: NO_UNIT,
+                    pending_from: vec![0; nprocs],
+                    xfer_bytes: vec![0; nprocs],
+                    last_seen: &last_seen[p],
                 };
                 scope.spawn(move |_| worker.run())
             })
@@ -939,6 +1162,29 @@ pub fn execute_config(
         }
     }
 
+    // Flush every worker's buffered timeline before the error triage so
+    // aborted runs still leave their events behind for inspection.
+    if let Some(sink) = sink {
+        for o in &mut outcomes {
+            sink.record_all(std::mem::take(&mut o.timeline));
+        }
+    }
+    let snapshot_last = || -> Box<[ProcLastEvent]> {
+        last_seen
+            .iter()
+            .enumerate()
+            .map(|(p, m)| {
+                let (step, unit, at) = *m.lock().unwrap_or_else(|e| e.into_inner());
+                ProcLastEvent {
+                    proc: p,
+                    step,
+                    unit,
+                    at,
+                }
+            })
+            .collect()
+    };
+
     // Machine-wide fault trace, attached to the report or the error.
     let mut trace = FaultTrace::default();
     for (p, o) in outcomes.iter().enumerate() {
@@ -986,6 +1232,7 @@ pub fn execute_config(
             return Err(MpError::WatchdogTimeout {
                 finished,
                 nprocs,
+                last_events: snapshot_last(),
                 trace,
             })
         }
@@ -995,6 +1242,7 @@ pub fn execute_config(
             return Err(MpError::WatchdogTimeout {
                 finished: 0,
                 nprocs,
+                last_events: snapshot_last(),
                 trace,
             })
         }
@@ -1367,6 +1615,130 @@ mod tests {
         });
         let report = check_config(&a, &f, &part, &deps, &assign, &short_watchdog(plan));
         assert!(report.faults.stalls > 0, "stalls must have been injected");
+    }
+
+    #[test]
+    fn timeline_capture_reconciles_with_proc_stats() {
+        use spfactor_trace::TimelineSink;
+        let (a, f, part, deps, assign) = setup_wrap(&gen::lap9(8, 8), 4, 9);
+        let sink = TimelineSink::new();
+        let config = MpConfig::reliable(NetworkModel::default());
+        let report = execute_config_observed(&a, &f, &part, &deps, &assign, &config, Some(&sink))
+            .expect("observed mp execute");
+        // Capture must not perturb the computation.
+        assert_eq!(report.factor, spfactor_numeric::cholesky(&a, &f).unwrap());
+        assert_eq!(report.traffic_report(), data_traffic(&f, &part, &assign));
+
+        let tl = sink.finish();
+        assert_eq!(tl.nprocs(), 4);
+        // Every unit starts and ends exactly once.
+        let mut started = vec![0usize; part.num_units()];
+        let mut ended = vec![0usize; part.num_units()];
+        for e in &tl.events {
+            match e.kind {
+                spfactor_trace::EventKind::UnitStart { unit, .. } => started[unit as usize] += 1,
+                spfactor_trace::EventKind::UnitEnd { unit, .. } => ended[unit as usize] += 1,
+                _ => {}
+            }
+        }
+        assert!(started.iter().all(|&c| c == 1), "every unit starts once");
+        assert!(ended.iter().all(|&c| c == 1), "every unit ends once");
+        // Timeline busy is the same measurement as ProcStats::busy_ns
+        // (both derive from one Duration per unit), up to f64 rounding.
+        let busy = tl.busy_per_proc();
+        for (p, s) in report.per_proc.iter().enumerate() {
+            let ns = s.busy_ns as f64 / 1e9;
+            assert!(
+                (busy[p] - ns).abs() <= 1e-9 + 1e-9 * ns,
+                "proc {p}: timeline busy {} vs busy_ns {}",
+                busy[p],
+                ns
+            );
+        }
+        // Transfer events pair up per (proc, peer) and the critical
+        // path attributes the full wall-clock makespan.
+        let mut open: std::collections::HashMap<(u32, u32), usize> =
+            std::collections::HashMap::new();
+        for e in &tl.events {
+            match e.kind {
+                spfactor_trace::EventKind::TransferStart { peer, .. } => {
+                    *open.entry((e.proc, peer)).or_insert(0) += 1;
+                }
+                spfactor_trace::EventKind::TransferEnd { peer, .. } => {
+                    let slot = open.get_mut(&(e.proc, peer)).expect("end without start");
+                    assert!(*slot > 0, "end without start");
+                    *slot -= 1;
+                }
+                _ => {}
+            }
+        }
+        assert!(open.values().all(|&c| c == 0), "unmatched transfer starts");
+        let cp = tl.critical_path(5);
+        let makespan = tl.makespan();
+        assert!(makespan > 0.0);
+        assert!(
+            (cp.attributed() - makespan).abs() <= 1e-9 + 1e-9 * makespan,
+            "attribution {} vs makespan {makespan}",
+            cp.attributed()
+        );
+        // The export is valid Chrome-trace JSON (1e6 us per second).
+        let doc = spfactor_trace::json::parse(&tl.to_chrome_trace_scaled(1e6))
+            .expect("chrome trace parses");
+        let stats =
+            spfactor_trace::timeline::validate_chrome_trace(&doc).expect("chrome trace valid");
+        assert!(stats.slices >= part.num_units());
+    }
+
+    #[test]
+    fn unobserved_run_records_no_events() {
+        let (a, f, part, deps, assign) = setup_block(&gen::lap9(6, 6), 4, 2, 5);
+        let config = MpConfig::reliable(NetworkModel::default());
+        let report = execute_config_observed(&a, &f, &part, &deps, &assign, &config, None)
+            .expect("mp execute");
+        assert_eq!(report.factor, spfactor_numeric::cholesky(&a, &f).unwrap());
+    }
+
+    #[test]
+    fn watchdog_error_carries_last_seen_steps() {
+        // Processor 0 dies silently before its first unit; peers retry
+        // forever (unbounded budget), so only the watchdog can end the
+        // run — and its diagnosis must say where everyone was stuck.
+        let (a, f, part, deps, assign) = setup_wrap(&gen::lap9(6, 6), 4, 9);
+        let mut plan = FaultPlan::none();
+        plan.crash = Some(CrashPlan {
+            proc: 0,
+            after_units: 0,
+            announce: false,
+        });
+        let config = MpConfig {
+            retry: RetryPolicy {
+                base: Duration::from_millis(5),
+                max_backoff: Duration::from_millis(20),
+                max_attempts: u32::MAX,
+            },
+            ..MpConfig::with_fault(plan)
+        }
+        .watchdog(Duration::from_millis(300));
+        let err = execute_config(&a, &f, &part, &deps, &assign, &config).unwrap_err();
+        match err {
+            MpError::WatchdogTimeout {
+                nprocs,
+                last_events,
+                ..
+            } => {
+                assert_eq!(nprocs, 4);
+                assert_eq!(last_events.len(), 4);
+                assert_eq!(last_events[0].proc, 0);
+                assert_eq!(last_events[0].step, "crashed");
+                assert!(
+                    last_events
+                        .iter()
+                        .any(|e| e.step == "await_deps" || e.step == "await_replies"),
+                    "someone must have been blocked: {last_events:?}"
+                );
+            }
+            other => panic!("expected WatchdogTimeout, got {other:?}"),
+        }
     }
 
     #[test]

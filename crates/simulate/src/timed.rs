@@ -11,8 +11,12 @@
 use spfactor_partition::{DepGraph, Partition};
 use spfactor_sched::Assignment;
 use spfactor_symbolic::{ops, SymbolicFactor};
+use spfactor_trace::timeline::{EventKind, StartEdge, TimelineEvent, TimelineSink};
 use spfactor_trace::Recorder;
 use std::collections::BinaryHeap;
+
+/// Bytes transferred per remote factor element (one `f64`).
+const BYTES_PER_ELEMENT: u64 = 8;
 
 /// How each processor orders the ready units assigned to it — the
 /// "ordering the computational work within each processor" half of the
@@ -140,7 +144,9 @@ pub fn simulate_timed_policy(
     model: &CommModel,
     policy: OrderPolicy,
 ) -> TimedReport {
-    simulate_timed_impl(factor, partition, deps, assignment, model, policy, None)
+    simulate_timed_impl(
+        factor, partition, deps, assignment, model, policy, None, None,
+    )
 }
 
 /// [`simulate_timed_policy`] that additionally records the idle-time
@@ -165,6 +171,54 @@ pub fn simulate_timed_traced(
         model,
         policy,
         Some(recorder),
+        None,
+    )
+}
+
+/// [`simulate_timed_policy`] that additionally emits the full event
+/// timeline — `UnitStart`/`UnitEnd` with start edges, per-peer
+/// `TransferStart`/`TransferEnd`, `Wait`, trailing `Idle` and `Ready`
+/// events, all on the virtual clock — into `sink`. The timeline
+/// reconciles exactly with the returned [`TimedReport`]: per-processor
+/// event durations sum to `busy` (bitwise: same additions in the same
+/// order) and the latest `UnitEnd` is the makespan.
+pub fn simulate_timed_timeline(
+    factor: &SymbolicFactor,
+    partition: &Partition,
+    deps: &DepGraph,
+    assignment: &Assignment,
+    model: &CommModel,
+    policy: OrderPolicy,
+    sink: &TimelineSink,
+) -> TimedReport {
+    simulate_timed_impl(
+        factor,
+        partition,
+        deps,
+        assignment,
+        model,
+        policy,
+        None,
+        Some(sink),
+    )
+}
+
+/// The fully general entry point: optional metric recording and
+/// optional timeline capture in one run.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_timed_observed(
+    factor: &SymbolicFactor,
+    partition: &Partition,
+    deps: &DepGraph,
+    assignment: &Assignment,
+    model: &CommModel,
+    policy: OrderPolicy,
+    recorder: Option<&Recorder>,
+    sink: Option<&TimelineSink>,
+) -> TimedReport {
+    let _span = recorder.map(|r| r.span("simulate.timed"));
+    simulate_timed_impl(
+        factor, partition, deps, assignment, model, policy, recorder, sink,
     )
 }
 
@@ -177,43 +231,56 @@ fn simulate_timed_impl(
     model: &CommModel,
     policy: OrderPolicy,
     recorder: Option<&Recorder>,
+    sink: Option<&TimelineSink>,
 ) -> TimedReport {
     let nu = partition.num_units();
     let nprocs = assignment.nprocs;
+    let capture = sink.is_some();
 
     // Remote elements fetched per unit (first fetch per processor counts,
     // attributed to the unit that triggers it — consistent with the
-    // traffic model's local caching).
-    let remote_elems = {
+    // traffic model's local caching). When capturing a timeline the same
+    // pass also splits each unit's count by source processor, so the
+    // transfer events carry real peer/byte payloads.
+    let (remote_elems, peer_elems) = {
         let owner = partition.owner_map();
         let entries = factor.num_entries();
         let mut seen: Vec<crate::bitset::BitSet> = (0..nprocs)
             .map(|_| crate::bitset::BitSet::new(entries))
             .collect();
         let mut per_unit = vec![0usize; nu];
+        let mut peers: Vec<Vec<(u32, u32)>> = vec![Vec::new(); if capture { nu } else { 0 }];
         let eid = |i: usize, j: usize| factor.entry_id(i, j).expect("factor entry");
         let touch = |src: usize,
                      tgt_unit: usize,
                      seen: &mut Vec<crate::bitset::BitSet>,
-                     per_unit: &mut Vec<usize>| {
+                     per_unit: &mut Vec<usize>,
+                     peers: &mut Vec<Vec<(u32, u32)>>| {
             let tp = assignment.proc_of(tgt_unit);
             let sp = assignment.proc_of(owner[src] as usize);
             if sp != tp && seen[tp].insert(src) {
                 per_unit[tgt_unit] += 1;
+                if capture {
+                    let list = &mut peers[tgt_unit];
+                    match list.iter_mut().find(|(p, _)| *p == sp as u32) {
+                        Some((_, n)) => *n += 1,
+                        None => list.push((sp as u32, 1)),
+                    }
+                }
             }
         };
         ops::for_each_update(factor, |op| {
             let t = owner[eid(op.i, op.j)] as usize;
-            touch(eid(op.i, op.k), t, &mut seen, &mut per_unit);
+            touch(eid(op.i, op.k), t, &mut seen, &mut per_unit, &mut peers);
             if op.i != op.j {
-                touch(eid(op.j, op.k), t, &mut seen, &mut per_unit);
+                touch(eid(op.j, op.k), t, &mut seen, &mut per_unit, &mut peers);
             }
         });
         ops::for_each_scaling(factor, |i, j| {
             let t = owner[eid(i, j)] as usize;
-            touch(eid(j, j), t, &mut seen, &mut per_unit);
+            touch(eid(j, j), t, &mut seen, &mut per_unit, &mut peers);
         });
-        per_unit
+        (per_unit, peers)
     };
 
     // Intra-processor ordering priorities.
@@ -228,14 +295,29 @@ fn simulate_timed_impl(
     let mut finish = vec![0.0f64; nu];
     let mut proc_free = vec![0.0f64; nprocs];
     let mut busy = vec![0.0f64; nprocs];
+    // Timeline capture state: event buffer (flushed to the sink once at
+    // the end), the predecessor whose arrival set each unit's
+    // data_ready, and the previous unit run on each processor.
+    let mut events: Vec<TimelineEvent> = Vec::new();
+    const NO_UNIT: u32 = u32::MAX;
+    let mut binding_pred = vec![NO_UNIT; nu];
+    let mut prev_on_proc = vec![NO_UNIT; nprocs];
     // Ready queue per processor, ordered by the policy.
     let mut ready: Vec<BinaryHeap<Rdy>> = (0..nprocs).map(|_| BinaryHeap::new()).collect();
     for u in 0..nu {
         if remaining[u] == 0 {
-            ready[assignment.proc_of(u)].push(Rdy {
+            let p = assignment.proc_of(u);
+            ready[p].push(Rdy {
                 prio: prio[u],
                 id: u,
             });
+            if capture {
+                events.push(TimelineEvent {
+                    t: 0.0,
+                    proc: p as u32,
+                    kind: EventKind::Ready { unit: u as u32 },
+                });
+            }
         }
     }
     let mut done = 0usize;
@@ -290,6 +372,78 @@ fn simulate_timed_impl(
         transfer_time += transfer;
         let duration = compute + transfer;
         let end = start + duration;
+        if capture {
+            // The binding constraint on the start edge: the data
+            // arrival when it lands after the processor freed up,
+            // otherwise the previous unit on this processor (or
+            // nothing at all).
+            let edge = if data_ready[u] > proc_free[p] && binding_pred[u] != NO_UNIT {
+                let pred = binding_pred[u];
+                events.push(TimelineEvent {
+                    t: proc_free[p],
+                    proc: p as u32,
+                    kind: EventKind::Wait {
+                        unit: u as u32,
+                        pred,
+                        dur: start - proc_free[p],
+                    },
+                });
+                StartEdge::DataReady {
+                    pred,
+                    remote: assignment.proc_of(pred as usize) != p,
+                }
+            } else if prev_on_proc[p] != NO_UNIT {
+                StartEdge::ProcBusy {
+                    prev: prev_on_proc[p],
+                }
+            } else {
+                StartEdge::Free
+            };
+            events.push(TimelineEvent {
+                t: start,
+                proc: p as u32,
+                kind: EventKind::UnitStart {
+                    unit: u as u32,
+                    edge,
+                },
+            });
+            // Transfers laid out back-to-back from the start edge; their
+            // durations sum to the unit's transfer component exactly.
+            let mut t0 = start;
+            for &(peer, count) in &peer_elems[u] {
+                let dur = count as f64 * model.per_element;
+                let bytes = count as u64 * BYTES_PER_ELEMENT;
+                events.push(TimelineEvent {
+                    t: t0,
+                    proc: p as u32,
+                    kind: EventKind::TransferStart {
+                        unit: u as u32,
+                        peer,
+                        bytes,
+                    },
+                });
+                t0 += dur;
+                events.push(TimelineEvent {
+                    t: t0,
+                    proc: p as u32,
+                    kind: EventKind::TransferEnd {
+                        unit: u as u32,
+                        peer,
+                        bytes,
+                    },
+                });
+            }
+            events.push(TimelineEvent {
+                t: end,
+                proc: p as u32,
+                kind: EventKind::UnitEnd {
+                    unit: u as u32,
+                    compute,
+                    transfer,
+                },
+            });
+            prev_on_proc[p] = u as u32;
+        }
         ready[p].pop();
         finish[u] = end.max(f64::MIN_POSITIVE);
         proc_free[p] = end;
@@ -306,17 +460,45 @@ fn simulate_timed_impl(
                 remote_messages += 1;
                 end + model.latency
             };
-            data_ready[s] = data_ready[s].max(arrival);
+            if arrival > data_ready[s] {
+                data_ready[s] = arrival;
+                binding_pred[s] = u as u32;
+            }
             remaining[s] -= 1;
             if remaining[s] == 0 {
                 ready[sp].push(Rdy {
                     prio: prio[s],
                     id: s,
                 });
+                if capture {
+                    events.push(TimelineEvent {
+                        t: data_ready[s],
+                        proc: sp as u32,
+                        kind: EventKind::Ready { unit: s as u32 },
+                    });
+                }
                 push_candidates(sp, &mut ready, &mut heap, &proc_free, &data_ready);
             }
         }
         push_candidates(p, &mut ready, &mut heap, &proc_free, &data_ready);
+    }
+
+    if let Some(s) = sink {
+        // Trailing idle: each processor from its last finish to the
+        // makespan. (Gaps between units are already covered by Wait
+        // events, so busy + blocked + trailing idle spans each track.)
+        for (p, &free) in proc_free.iter().enumerate() {
+            if free < makespan {
+                events.push(TimelineEvent {
+                    t: free,
+                    proc: p as u32,
+                    kind: EventKind::Idle {
+                        dur: makespan - free,
+                    },
+                });
+            }
+        }
+        s.record_all(events);
     }
 
     let total_work: f64 = partition.units.iter().map(|u| u.work as f64).sum();
@@ -480,6 +662,70 @@ mod tests {
         // List-scheduling anomalies exist, but CP-first should not be
         // drastically worse than scan order.
         assert!(cp.makespan <= scan.makespan * 1.25);
+    }
+
+    #[test]
+    fn timeline_reconciles_with_report() {
+        let (f, part, deps) = setup(10);
+        for nprocs in [1, 4, 8] {
+            let a = block_allocation(&part, &deps, nprocs);
+            let model = CommModel::default();
+            let sink = TimelineSink::new();
+            let r = simulate_timed_timeline(
+                &f,
+                &part,
+                &deps,
+                &a,
+                &model,
+                OrderPolicy::ScanOrder,
+                &sink,
+            );
+            let plain = simulate_timed(&f, &part, &deps, &a, &model);
+            assert_eq!(r, plain, "capture must not perturb the simulation");
+            let tl = sink.finish();
+            // Busy sums are bitwise identical (same additions, same order).
+            assert_eq!(tl.busy_per_proc(), r.busy, "nprocs={nprocs}");
+            assert_eq!(tl.makespan(), r.makespan);
+            tl.reconcile(&r.busy, r.makespan, 1e-9)
+                .unwrap_or_else(|e| panic!("nprocs={nprocs}: {e}"));
+        }
+    }
+
+    #[test]
+    fn timeline_transfer_events_sum_to_transfer_time() {
+        let (f, part, deps) = setup(9);
+        let a = block_allocation(&part, &deps, 4);
+        let model = CommModel::default();
+        let sink = TimelineSink::new();
+        simulate_timed_timeline(&f, &part, &deps, &a, &model, OrderPolicy::ScanOrder, &sink);
+        let tl = sink.finish();
+        let mut transfer_events = 0.0f64;
+        let mut open: std::collections::HashMap<(u32, u32), f64> = std::collections::HashMap::new();
+        for e in &tl.events {
+            match e.kind {
+                EventKind::TransferStart { peer, .. } => {
+                    open.insert((e.proc, peer), e.t);
+                }
+                EventKind::TransferEnd { peer, .. } => {
+                    let start = open.remove(&(e.proc, peer)).expect("matched start");
+                    transfer_events += e.t - start;
+                }
+                _ => {}
+            }
+        }
+        let transfer_units: f64 = tl
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::UnitEnd { transfer, .. } => Some(transfer),
+                _ => None,
+            })
+            .sum();
+        assert!(
+            (transfer_events - transfer_units).abs() < 1e-9,
+            "{transfer_events} vs {transfer_units}"
+        );
+        assert!(transfer_units > 0.0, "block/4-proc run must communicate");
     }
 
     #[test]

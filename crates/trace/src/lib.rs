@@ -59,6 +59,14 @@
 
 #![warn(missing_docs)]
 
+pub mod json;
+pub mod regress;
+pub mod timeline;
+
+pub use timeline::{
+    CriticalPathReport, EventKind, StartEdge, Timeline, TimelineEvent, TimelineSink,
+};
+
 use std::fmt::Write as _;
 
 #[cfg(feature = "trace")]
@@ -301,9 +309,13 @@ impl Recorder {
     /// }
     /// ```
     ///
-    /// Keys appear in sorted order so output is deterministic.
-    /// Non-finite gauge values serialize as `null`. With the `trace`
-    /// feature off the same three top-level keys are emitted, empty.
+    /// Keys always appear in sorted (byte-lexicographic) order — metric
+    /// storage is `BTreeMap`-backed — so exports are byte-identical for
+    /// the same recorded state regardless of insertion order, thread
+    /// interleaving or thread count, and metric diffs between runs are
+    /// stable. Non-finite gauge values serialize as `null`. With the
+    /// `trace` feature off the same three top-level keys are emitted,
+    /// empty.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n  \"counters\": {");
         #[cfg(feature = "trace")]
@@ -435,8 +447,7 @@ impl Drop for Span<'_> {
 }
 
 /// Escapes a string for use inside a JSON string literal.
-#[cfg_attr(not(feature = "trace"), allow(dead_code))]
-fn escape_json(s: &str) -> String {
+pub(crate) fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -455,8 +466,7 @@ fn escape_json(s: &str) -> String {
 }
 
 /// Formats an `f64` as a JSON value (non-finite becomes `null`).
-#[cfg_attr(not(feature = "trace"), allow(dead_code))]
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {
@@ -587,6 +597,61 @@ mod tests {
             let opens = json.matches('{').count();
             let closes = json.matches('}').count();
             assert_eq!(opens, closes);
+        }
+
+        #[test]
+        fn json_export_is_deterministic_across_insertion_orders_and_threads() {
+            // The same recorded state must export byte-identically no
+            // matter how it got recorded: sequentially in sorted order,
+            // sequentially in reverse order, or racing from many
+            // threads. This is what makes metric diffs stable.
+            let names: Vec<String> = (0..32).map(|i| format!("m.{:02}", i)).collect();
+
+            let forward = Recorder::new();
+            for (i, n) in names.iter().enumerate() {
+                forward.incr(n, i as u64 + 1);
+                forward.gauge(&format!("g.{n}"), i as f64);
+                forward.record_span_ns(&format!("s.{n}"), 10 * (i as u64 + 1));
+            }
+
+            let reverse = Recorder::new();
+            for (i, n) in names.iter().enumerate().rev() {
+                reverse.incr(n, i as u64 + 1);
+                reverse.gauge(&format!("g.{n}"), i as f64);
+                reverse.record_span_ns(&format!("s.{n}"), 10 * (i as u64 + 1));
+            }
+
+            let threaded = Recorder::new();
+            std::thread::scope(|s| {
+                for chunk in names.chunks(8) {
+                    let threaded = &threaded;
+                    let offset = names.iter().position(|n| n == &chunk[0]).unwrap();
+                    s.spawn(move || {
+                        for (j, n) in chunk.iter().enumerate() {
+                            let i = offset + j;
+                            threaded.incr(n, i as u64 + 1);
+                            threaded.gauge(&format!("g.{n}"), i as f64);
+                            threaded.record_span_ns(&format!("s.{n}"), 10 * (i as u64 + 1));
+                        }
+                    });
+                }
+            });
+
+            let expected = forward.to_json();
+            assert_eq!(expected, reverse.to_json());
+            assert_eq!(expected, threaded.to_json());
+            // And the order really is sorted: the name list reads back
+            // sorted, and each name appears before its successor in the
+            // JSON text.
+            let counters = forward.counter_names();
+            let mut sorted = counters.clone();
+            sorted.sort();
+            assert_eq!(counters, sorted);
+            for pair in counters.windows(2) {
+                let a = expected.find(&format!("\"{}\"", pair[0])).unwrap();
+                let b = expected.find(&format!("\"{}\"", pair[1])).unwrap();
+                assert!(a < b, "{} not before {}", pair[0], pair[1]);
+            }
         }
 
         #[test]

@@ -1,0 +1,1072 @@
+//! Structured event timelines: what every processor did, and when.
+//!
+//! The [`Recorder`](crate::Recorder) answers *how much* (totals per
+//! metric name); this module answers *where time went*. A
+//! [`TimelineSink`] collects typed, timestamped [`TimelineEvent`]s from
+//! an execution engine — the virtual-clock timed simulator emits one
+//! timeline per simulated schedule, and the message-passing runtime
+//! emits a wall-clock timeline per run — and the finished [`Timeline`]
+//! supports two consumers:
+//!
+//! * [`Timeline::to_chrome_trace`] renders Chrome-trace / Perfetto JSON
+//!   (load it at `ui.perfetto.dev` or `chrome://tracing`): one compute
+//!   track and one I/O track per processor, plus counter tracks for
+//!   ready-queue depth and in-flight transfer bytes.
+//! * [`Timeline::critical_path`] walks the recorded event DAG backward
+//!   from the last unit to finish and produces a
+//!   [`CriticalPathReport`]: the longest chain with a per-hop
+//!   compute/transfer/wait breakdown that sums to the makespan,
+//!   per-processor busy/blocked/idle fractions, and the top-k
+//!   bottleneck units.
+//!
+//! Timestamps are caller-defined `f64`s on one shared clock — virtual
+//! time units for the simulator, seconds since a run epoch for the
+//! runtime — so the same analysis applies to both. The event model is
+//! engine-agnostic: causality is captured in [`StartEdge`] (what a unit
+//! was waiting on when it started), which is what lets the critical
+//! path be reconstructed from events alone, with no dependency graph in
+//! hand.
+//!
+//! See `docs/OBSERVABILITY.md` for the full event model and a Perfetto
+//! walkthrough.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+use crate::{escape_json, json_f64};
+
+/// Why a unit started when it did — the binding constraint on its start
+/// edge. Recording this at emission time is what makes the timeline
+/// self-contained: the critical-path walk follows these edges backward
+/// without needing the dependency graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StartEdge {
+    /// Nothing constrained the start: first work on an idle processor.
+    Free,
+    /// The processor was still executing `prev`; this unit started the
+    /// moment `prev` finished.
+    ProcBusy {
+        /// Unit that occupied the processor until this one started.
+        prev: u32,
+    },
+    /// The unit's last dependency to arrive was `pred`; the processor
+    /// sat waiting for it.
+    DataReady {
+        /// Predecessor unit whose completion (plus any message latency)
+        /// released this unit.
+        pred: u32,
+        /// `true` when `pred` ran on a different processor, i.e. the
+        /// wait covered a message.
+        remote: bool,
+    },
+}
+
+/// What happened. Payloads identify the unit, peer processor and byte
+/// volume involved, so the exporter and analyzer need no side tables.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum EventKind {
+    /// A unit began executing on `proc`. `edge` is the binding
+    /// constraint that set the start time.
+    UnitStart {
+        /// Unit that started.
+        unit: u32,
+        /// Why it started exactly then.
+        edge: StartEdge,
+    },
+    /// A unit finished. `t` is the finish time; `compute` and
+    /// `transfer` partition the unit's busy interval, so the interval
+    /// is `[t - compute - transfer, t]`.
+    UnitEnd {
+        /// Unit that finished.
+        unit: u32,
+        /// Time spent on arithmetic for this unit.
+        compute: f64,
+        /// Time spent receiving remote operands for this unit.
+        transfer: f64,
+    },
+    /// Data for `unit` started arriving from `peer`.
+    TransferStart {
+        /// Unit the data is for.
+        unit: u32,
+        /// Source processor.
+        peer: u32,
+        /// Message payload size in bytes.
+        bytes: u64,
+    },
+    /// The transfer opened by the matching [`EventKind::TransferStart`]
+    /// (same `proc`/`peer`, FIFO order) completed.
+    TransferEnd {
+        /// Unit the data was for.
+        unit: u32,
+        /// Source processor.
+        peer: u32,
+        /// Message payload size in bytes.
+        bytes: u64,
+    },
+    /// The processor sat blocked for `dur` starting at `t`, waiting for
+    /// `pred` to release `unit`.
+    Wait {
+        /// Unit the processor wanted to run.
+        unit: u32,
+        /// Dependency it was waiting on.
+        pred: u32,
+        /// Length of the blocked interval.
+        dur: f64,
+    },
+    /// The processor was idle (no work available) for `dur` starting at
+    /// `t`. Engines may emit this only for trailing idle; the analyzer
+    /// computes total idle residually.
+    Idle {
+        /// Length of the idle interval.
+        dur: f64,
+    },
+    /// `unit` became ready to run (all dependencies satisfied) at `t`.
+    /// Drives the ready-queue-depth counter track.
+    Ready {
+        /// Unit that became ready.
+        unit: u32,
+    },
+}
+
+/// One timestamped event on one processor's timeline.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TimelineEvent {
+    /// Event time: the start of the interval for interval-shaped kinds
+    /// ([`EventKind::Wait`], [`EventKind::Idle`]), the instant itself
+    /// for the rest (a [`EventKind::UnitEnd`] carries its duration).
+    pub t: f64,
+    /// Processor (track) the event belongs to.
+    pub proc: u32,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Thread-safe collector for [`TimelineEvent`]s.
+///
+/// Engines append events while running — single events with
+/// [`TimelineSink::record`] or per-worker batches with
+/// [`TimelineSink::record_all`] (one lock per batch) — and the caller
+/// turns the sink into an ordered [`Timeline`] with
+/// [`TimelineSink::finish`].
+#[derive(Debug, Default)]
+pub struct TimelineSink {
+    events: Mutex<Vec<TimelineEvent>>,
+}
+
+impl TimelineSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<TimelineEvent>> {
+        self.events.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Appends one event.
+    pub fn record(&self, event: TimelineEvent) {
+        self.lock().push(event);
+    }
+
+    /// Appends a batch of events under one lock acquisition. Workers
+    /// should buffer locally and flush once to keep the sink off hot
+    /// paths.
+    pub fn record_all(&self, events: impl IntoIterator<Item = TimelineEvent>) {
+        self.lock().extend(events);
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Drains the sink into an ordered [`Timeline`]: events sorted by
+    /// `(proc, t)`, stable, so each processor's track reads in time
+    /// order and ties keep emission order.
+    pub fn finish(&self) -> Timeline {
+        let mut events = std::mem::take(&mut *self.lock());
+        events.sort_by(|a, b| a.proc.cmp(&b.proc).then_with(|| a.t.total_cmp(&b.t)));
+        Timeline { events }
+    }
+}
+
+/// An ordered event timeline, produced by [`TimelineSink::finish`].
+/// Events are sorted by `(proc, t)`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Timeline {
+    /// The events, sorted by `(proc, t)` with stable ties.
+    pub events: Vec<TimelineEvent>,
+}
+
+/// Start/end/attribution record for one unit, reassembled from its
+/// `UnitStart`/`UnitEnd` pair.
+#[derive(Clone, Copy, Debug)]
+struct UnitRec {
+    proc: u32,
+    start: f64,
+    end: f64,
+    compute: f64,
+    transfer: f64,
+    edge: StartEdge,
+}
+
+impl Timeline {
+    /// Number of processor tracks (max `proc` + 1; 0 when empty).
+    pub fn nprocs(&self) -> usize {
+        self.events
+            .iter()
+            .map(|e| e.proc as usize + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Latest unit finish time (0 when no unit ever finished).
+    pub fn makespan(&self) -> f64 {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::UnitEnd { .. }))
+            .map(|e| e.t)
+            .fold(0.0, f64::max)
+    }
+
+    /// Per-processor busy time: for each track in time order, the sum
+    /// of `compute + transfer` over its [`EventKind::UnitEnd`] events.
+    /// Summation order matches the engines' own accumulation so the
+    /// result reconciles exactly against `TimedReport::busy`.
+    pub fn busy_per_proc(&self) -> Vec<f64> {
+        let mut busy = vec![0.0f64; self.nprocs()];
+        for e in &self.events {
+            if let EventKind::UnitEnd {
+                compute, transfer, ..
+            } = e.kind
+            {
+                busy[e.proc as usize] += compute + transfer;
+            }
+        }
+        busy
+    }
+
+    /// Per-processor blocked time: sum of [`EventKind::Wait`] durations.
+    pub fn blocked_per_proc(&self) -> Vec<f64> {
+        let mut blocked = vec![0.0f64; self.nprocs()];
+        for e in &self.events {
+            if let EventKind::Wait { dur, .. } = e.kind {
+                blocked[e.proc as usize] += dur;
+            }
+        }
+        blocked
+    }
+
+    fn unit_records(&self) -> HashMap<u32, UnitRec> {
+        let mut recs: HashMap<u32, UnitRec> = HashMap::new();
+        for e in &self.events {
+            match e.kind {
+                EventKind::UnitStart { unit, edge } => {
+                    recs.entry(unit).or_insert(UnitRec {
+                        proc: e.proc,
+                        start: e.t,
+                        end: e.t,
+                        compute: 0.0,
+                        transfer: 0.0,
+                        edge,
+                    });
+                }
+                EventKind::UnitEnd {
+                    unit,
+                    compute,
+                    transfer,
+                } => {
+                    if let Some(rec) = recs.get_mut(&unit) {
+                        rec.end = e.t;
+                        rec.compute = compute;
+                        rec.transfer = transfer;
+                    }
+                }
+                _ => {}
+            }
+        }
+        recs
+    }
+
+    /// Walks the event DAG backward from the last unit to finish and
+    /// returns the makespan attribution report. `top_k` bounds the
+    /// bottleneck list.
+    pub fn critical_path(&self, top_k: usize) -> CriticalPathReport {
+        let recs = self.unit_records();
+        let makespan = self.makespan();
+        let nprocs = self.nprocs();
+
+        // Sink: latest finisher, smallest unit id on ties.
+        let sink = recs
+            .iter()
+            .max_by(|(ua, a), (ub, b)| a.end.total_cmp(&b.end).then_with(|| ub.cmp(ua)))
+            .map(|(u, _)| *u);
+
+        let mut hops_rev: Vec<Hop> = Vec::new();
+        let mut cur = sink;
+        let mut guard = recs.len() + 1;
+        while let Some(u) = cur {
+            let Some(rec) = recs.get(&u) else { break };
+            if guard == 0 {
+                break; // malformed edges would otherwise cycle
+            }
+            guard -= 1;
+            let (constraint_end, next) = match rec.edge {
+                StartEdge::Free => (0.0, None),
+                StartEdge::ProcBusy { prev } => {
+                    (recs.get(&prev).map_or(0.0, |p| p.end), Some(prev))
+                }
+                StartEdge::DataReady { pred, .. } => {
+                    (recs.get(&pred).map_or(0.0, |p| p.end), Some(pred))
+                }
+            };
+            hops_rev.push(Hop {
+                unit: u,
+                proc: rec.proc,
+                start: rec.start,
+                end: rec.end,
+                compute: rec.compute,
+                transfer: rec.transfer,
+                wait: rec.start - constraint_end,
+                edge: rec.edge,
+            });
+            cur = next;
+        }
+        hops_rev.reverse();
+        let hops = hops_rev;
+
+        let (mut compute, mut transfer, mut wait) = (0.0f64, 0.0f64, 0.0f64);
+        for h in &hops {
+            compute += h.compute;
+            transfer += h.transfer;
+            wait += h.wait;
+        }
+
+        let busy = self.busy_per_proc();
+        let blocked = self.blocked_per_proc();
+        let per_proc = (0..nprocs)
+            .map(|p| ProcUsage {
+                proc: p as u32,
+                busy: busy[p],
+                blocked: blocked[p],
+                idle: (makespan - busy[p] - blocked[p]).max(0.0),
+            })
+            .collect();
+
+        let mut by_duration: Vec<Bottleneck> = recs
+            .iter()
+            .map(|(u, r)| Bottleneck {
+                unit: *u,
+                proc: r.proc,
+                duration: r.end - r.start,
+            })
+            .collect();
+        by_duration.sort_by(|a, b| {
+            b.duration
+                .total_cmp(&a.duration)
+                .then_with(|| a.unit.cmp(&b.unit))
+        });
+        by_duration.truncate(top_k);
+
+        CriticalPathReport {
+            makespan,
+            hops,
+            compute,
+            transfer,
+            wait,
+            per_proc,
+            bottlenecks: by_duration,
+        }
+    }
+
+    /// Checks the timeline against an engine's own totals: per-track
+    /// busy sums must match `busy` within `tol`, the recorded makespan
+    /// must match `makespan` within `tol`, no two unit intervals on one
+    /// track may overlap, and the critical-path attribution must sum to
+    /// the makespan within `tol`. Returns the first discrepancy as text.
+    pub fn reconcile(&self, busy: &[f64], makespan: f64, tol: f64) -> Result<(), String> {
+        let own_busy = self.busy_per_proc();
+        if own_busy.len() > busy.len() {
+            return Err(format!(
+                "timeline has {} tracks but report has {}",
+                own_busy.len(),
+                busy.len()
+            ));
+        }
+        for (p, reported) in busy.iter().enumerate() {
+            let observed = own_busy.get(p).copied().unwrap_or(0.0);
+            if (observed - reported).abs() > tol {
+                return Err(format!(
+                    "proc {p}: timeline busy {observed} != reported busy {reported}"
+                ));
+            }
+        }
+        let own_makespan = self.makespan();
+        if (own_makespan - makespan).abs() > tol {
+            return Err(format!(
+                "timeline makespan {own_makespan} != reported makespan {makespan}"
+            ));
+        }
+        // No overlapping unit intervals per track: events are sorted by
+        // (proc, t), so check each UnitStart against the previous end.
+        let mut last_end = vec![f64::NEG_INFINITY; self.nprocs()];
+        let recs = self.unit_records();
+        for e in &self.events {
+            if let EventKind::UnitStart { unit, .. } = e.kind {
+                let p = e.proc as usize;
+                if e.t < last_end[p] - tol {
+                    return Err(format!(
+                        "proc {p}: unit {unit} starts at {} before previous end {}",
+                        e.t, last_end[p]
+                    ));
+                }
+                if let Some(rec) = recs.get(&unit) {
+                    last_end[p] = last_end[p].max(rec.end);
+                }
+            }
+        }
+        let cp = self.critical_path(1);
+        let attributed = cp.compute + cp.transfer + cp.wait;
+        if (attributed - makespan).abs() > tol {
+            return Err(format!(
+                "critical path attribution {attributed} != makespan {makespan} \
+                 (compute {} + transfer {} + wait {})",
+                cp.compute, cp.transfer, cp.wait
+            ));
+        }
+        Ok(())
+    }
+
+    /// Renders the timeline as Chrome-trace / Perfetto JSON with
+    /// timestamps taken as microseconds (the virtual-clock convention:
+    /// one time unit displays as one microsecond).
+    pub fn to_chrome_trace(&self) -> String {
+        self.to_chrome_trace_scaled(1.0)
+    }
+
+    /// Renders Chrome-trace JSON with `us_per_unit` microseconds per
+    /// timeline time unit. Wall-clock timelines (seconds) should pass
+    /// `1e6`.
+    ///
+    /// Layout: pid 1, two tracks per processor — tid `2p` ("proc p",
+    /// unit slices) and tid `2p+1` ("proc p io", transfer/wait/idle
+    /// slices) — plus two process-level counter tracks, `ready_units`
+    /// (from [`EventKind::Ready`] vs. [`EventKind::UnitStart`]) and
+    /// `inflight_bytes` (from transfer start/end pairs).
+    pub fn to_chrome_trace_scaled(&self, us_per_unit: f64) -> String {
+        let mut out = String::from("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [");
+        let mut first = true;
+        let push = |out: &mut String, first: &mut bool, ev: String| {
+            if !*first {
+                out.push(',');
+            }
+            *first = false;
+            out.push_str("\n  ");
+            out.push_str(&ev);
+        };
+
+        push(
+            &mut out,
+            &mut first,
+            "{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": 1, \
+             \"args\": {\"name\": \"spfactor\"}}"
+                .to_string(),
+        );
+        for p in 0..self.nprocs() {
+            push(
+                &mut out,
+                &mut first,
+                format!(
+                    "{{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": 1, \"tid\": {}, \
+                     \"args\": {{\"name\": \"proc {p}\"}}}}",
+                    2 * p
+                ),
+            );
+            push(
+                &mut out,
+                &mut first,
+                format!(
+                    "{{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": 1, \"tid\": {}, \
+                     \"args\": {{\"name\": \"proc {p} io\"}}}}",
+                    2 * p + 1
+                ),
+            );
+        }
+
+        let recs = self.unit_records();
+        // Unit slices on the compute track.
+        for e in &self.events {
+            if let EventKind::UnitStart { unit, edge } = e.kind {
+                let Some(rec) = recs.get(&unit) else { continue };
+                let edge_label = match edge {
+                    StartEdge::Free => "free".to_string(),
+                    StartEdge::ProcBusy { prev } => format!("after unit {prev}"),
+                    StartEdge::DataReady { pred, remote } => {
+                        if remote {
+                            format!("awaited remote unit {pred}")
+                        } else {
+                            format!("awaited local unit {pred}")
+                        }
+                    }
+                };
+                push(
+                    &mut out,
+                    &mut first,
+                    format!(
+                        "{{\"ph\": \"X\", \"name\": \"unit {unit}\", \"cat\": \"unit\", \
+                         \"pid\": 1, \"tid\": {}, \"ts\": {}, \"dur\": {}, \
+                         \"args\": {{\"unit\": {unit}, \"compute\": {}, \"transfer\": {}, \
+                         \"start_edge\": \"{}\"}}}}",
+                        2 * e.proc as usize,
+                        json_f64(rec.start * us_per_unit),
+                        json_f64((rec.end - rec.start).max(0.0) * us_per_unit),
+                        json_f64(rec.compute * us_per_unit),
+                        json_f64(rec.transfer * us_per_unit),
+                        escape_json(&edge_label)
+                    ),
+                );
+            }
+        }
+
+        // Transfer slices: match FIFO start/end pairs per (proc, peer).
+        // Queue entry: (start time, unit, bytes).
+        type OpenTransfers = HashMap<(u32, u32), Vec<(f64, u32, u64)>>;
+        let mut open: OpenTransfers = HashMap::new();
+        for e in &self.events {
+            match e.kind {
+                EventKind::TransferStart { unit, peer, bytes } => {
+                    open.entry((e.proc, peer))
+                        .or_default()
+                        .push((e.t, unit, bytes));
+                }
+                EventKind::TransferEnd { peer, .. } => {
+                    let Some(queue) = open.get_mut(&(e.proc, peer)) else {
+                        continue;
+                    };
+                    if queue.is_empty() {
+                        continue;
+                    }
+                    let (start, unit, bytes) = queue.remove(0);
+                    push(
+                        &mut out,
+                        &mut first,
+                        format!(
+                            "{{\"ph\": \"X\", \"name\": \"recv p{peer}\", \
+                             \"cat\": \"transfer\", \"pid\": 1, \"tid\": {}, \
+                             \"ts\": {}, \"dur\": {}, \
+                             \"args\": {{\"unit\": {unit}, \"peer\": {peer}, \
+                             \"bytes\": {bytes}}}}}",
+                            2 * e.proc as usize + 1,
+                            json_f64(start * us_per_unit),
+                            json_f64((e.t - start).max(0.0) * us_per_unit)
+                        ),
+                    );
+                }
+                _ => {}
+            }
+        }
+
+        // Wait and idle slices on the io track.
+        for e in &self.events {
+            match e.kind {
+                EventKind::Wait { unit, pred, dur } => push(
+                    &mut out,
+                    &mut first,
+                    format!(
+                        "{{\"ph\": \"X\", \"name\": \"wait unit {unit}\", \"cat\": \"wait\", \
+                         \"pid\": 1, \"tid\": {}, \"ts\": {}, \"dur\": {}, \
+                         \"args\": {{\"unit\": {unit}, \"pred\": {pred}}}}}",
+                        2 * e.proc as usize + 1,
+                        json_f64(e.t * us_per_unit),
+                        json_f64(dur.max(0.0) * us_per_unit)
+                    ),
+                ),
+                EventKind::Idle { dur } => push(
+                    &mut out,
+                    &mut first,
+                    format!(
+                        "{{\"ph\": \"X\", \"name\": \"idle\", \"cat\": \"idle\", \
+                         \"pid\": 1, \"tid\": {}, \"ts\": {}, \"dur\": {}, \"args\": {{}}}}",
+                        2 * e.proc as usize + 1,
+                        json_f64(e.t * us_per_unit),
+                        json_f64(dur.max(0.0) * us_per_unit)
+                    ),
+                ),
+                _ => {}
+            }
+        }
+
+        // Counter tracks need global time order.
+        let mut marks: Vec<(f64, i64, i64)> = Vec::new(); // (t, d_ready, d_bytes)
+        for e in &self.events {
+            match e.kind {
+                EventKind::Ready { .. } => marks.push((e.t, 1, 0)),
+                EventKind::UnitStart { .. } => marks.push((e.t, -1, 0)),
+                EventKind::TransferStart { bytes, .. } => marks.push((e.t, 0, bytes as i64)),
+                EventKind::TransferEnd { bytes, .. } => marks.push((e.t, 0, -(bytes as i64))),
+                _ => {}
+            }
+        }
+        marks.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let (mut ready, mut inflight) = (0i64, 0i64);
+        for (t, d_ready, d_bytes) in marks {
+            if d_ready != 0 {
+                ready = (ready + d_ready).max(0);
+                push(
+                    &mut out,
+                    &mut first,
+                    format!(
+                        "{{\"ph\": \"C\", \"name\": \"ready_units\", \"pid\": 1, \
+                         \"ts\": {}, \"args\": {{\"ready\": {ready}}}}}",
+                        json_f64(t * us_per_unit)
+                    ),
+                );
+            }
+            if d_bytes != 0 {
+                inflight = (inflight + d_bytes).max(0);
+                push(
+                    &mut out,
+                    &mut first,
+                    format!(
+                        "{{\"ph\": \"C\", \"name\": \"inflight_bytes\", \"pid\": 1, \
+                         \"ts\": {}, \"args\": {{\"bytes\": {inflight}}}}}",
+                        json_f64(t * us_per_unit)
+                    ),
+                );
+            }
+        }
+
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+/// One hop of the critical path: a unit, how long it computed and
+/// transferred, and how long its processor waited before it could start.
+#[derive(Clone, Copy, Debug)]
+pub struct Hop {
+    /// The unit executed on this hop.
+    pub unit: u32,
+    /// Processor it ran on.
+    pub proc: u32,
+    /// Start time.
+    pub start: f64,
+    /// End time.
+    pub end: f64,
+    /// Compute time attributed to the unit.
+    pub compute: f64,
+    /// Transfer time attributed to the unit.
+    pub transfer: f64,
+    /// Gap between the binding constraint's release and `start`.
+    pub wait: f64,
+    /// The constraint that set the start time.
+    pub edge: StartEdge,
+}
+
+/// Busy/blocked/idle split for one processor over the makespan.
+#[derive(Clone, Copy, Debug)]
+pub struct ProcUsage {
+    /// Processor id.
+    pub proc: u32,
+    /// Time executing units (compute + transfer).
+    pub busy: f64,
+    /// Time blocked on dependencies (sum of wait intervals).
+    pub blocked: f64,
+    /// Remaining time: `makespan - busy - blocked`, floored at 0.
+    pub idle: f64,
+}
+
+/// A unit ranked by its total execution duration.
+#[derive(Clone, Copy, Debug)]
+pub struct Bottleneck {
+    /// Unit id.
+    pub unit: u32,
+    /// Processor it ran on.
+    pub proc: u32,
+    /// `end - start` for the unit.
+    pub duration: f64,
+}
+
+/// Makespan attribution produced by [`Timeline::critical_path`].
+///
+/// The hop chain telescopes: each hop's start equals its constraint's
+/// end plus `wait`, so `compute + transfer + wait` summed over the path
+/// equals the makespan (exactly on the virtual clock, within
+/// measurement noise on the wall clock).
+#[derive(Clone, Debug)]
+pub struct CriticalPathReport {
+    /// Latest unit finish time.
+    pub makespan: f64,
+    /// The critical path, source first, sink (last finisher) last.
+    pub hops: Vec<Hop>,
+    /// Total compute along the path.
+    pub compute: f64,
+    /// Total transfer along the path.
+    pub transfer: f64,
+    /// Total wait along the path.
+    pub wait: f64,
+    /// Busy/blocked/idle split per processor.
+    pub per_proc: Vec<ProcUsage>,
+    /// Longest-running units, descending by duration.
+    pub bottlenecks: Vec<Bottleneck>,
+}
+
+impl CriticalPathReport {
+    /// `compute + transfer + wait` along the path — should equal
+    /// [`CriticalPathReport::makespan`].
+    pub fn attributed(&self) -> f64 {
+        self.compute + self.transfer + self.wait
+    }
+
+    /// Renders the report as an aligned human-readable text block.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let pct = |v: f64| {
+            if self.makespan > 0.0 {
+                100.0 * v / self.makespan
+            } else {
+                0.0
+            }
+        };
+        let _ = writeln!(
+            out,
+            "critical path: {} hops over makespan {:.6}",
+            self.hops.len(),
+            self.makespan
+        );
+        let _ = writeln!(
+            out,
+            "  attribution: compute {:.6} ({:.1}%)  transfer {:.6} ({:.1}%)  wait {:.6} ({:.1}%)",
+            self.compute,
+            pct(self.compute),
+            self.transfer,
+            pct(self.transfer),
+            self.wait,
+            pct(self.wait)
+        );
+        let _ = writeln!(
+            out,
+            "  {:>5} {:>6} {:>5} {:>12} {:>12} {:>12} {:>12}",
+            "hop", "unit", "proc", "compute", "transfer", "wait", "end"
+        );
+        for (i, h) in self.hops.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  {:>5} {:>6} {:>5} {:>12.6} {:>12.6} {:>12.6} {:>12.6}",
+                i, h.unit, h.proc, h.compute, h.transfer, h.wait, h.end
+            );
+        }
+        let _ = writeln!(out, "per-processor usage (fractions of makespan):");
+        for u in &self.per_proc {
+            let _ = writeln!(
+                out,
+                "  proc {:>3}: busy {:.3}  blocked {:.3}  idle {:.3}",
+                u.proc,
+                pct(u.busy) / 100.0,
+                pct(u.blocked) / 100.0,
+                pct(u.idle) / 100.0
+            );
+        }
+        let _ = writeln!(out, "top bottleneck units:");
+        for b in &self.bottlenecks {
+            let _ = writeln!(
+                out,
+                "  unit {:>6} on proc {:>3}: {:.6}",
+                b.unit, b.proc, b.duration
+            );
+        }
+        out
+    }
+}
+
+/// Validation summary returned by [`validate_chrome_trace`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChromeTraceStats {
+    /// Number of `"ph": "X"` complete (slice) events.
+    pub slices: usize,
+    /// Number of `"ph": "C"` counter events.
+    pub counters: usize,
+    /// Number of `"ph": "M"` metadata events.
+    pub metadata: usize,
+}
+
+/// Validates a parsed JSON document against the Chrome-trace schema
+/// subset this crate emits: a top-level object with a `traceEvents`
+/// array whose members are objects carrying `ph`/`name`/`pid` (plus
+/// `ts` and a non-negative `dur` for `"X"` slices, numeric-valued
+/// `args` for `"C"` counters). Returns per-phase counts on success.
+pub fn validate_chrome_trace(doc: &crate::json::Value) -> Result<ChromeTraceStats, String> {
+    use crate::json::Value;
+    let events = doc
+        .get("traceEvents")
+        .ok_or("missing traceEvents")?
+        .as_array()
+        .ok_or("traceEvents is not an array")?;
+    let mut stats = ChromeTraceStats::default();
+    for (i, ev) in events.iter().enumerate() {
+        if !ev.is_object() {
+            return Err(format!("event {i} is not an object"));
+        }
+        let ph = ev
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        if ev.get("name").and_then(Value::as_str).is_none() {
+            return Err(format!("event {i}: missing name"));
+        }
+        if ev.get("pid").and_then(Value::as_f64).is_none() {
+            return Err(format!("event {i}: missing pid"));
+        }
+        match ph {
+            "X" => {
+                let ts = ev
+                    .get("ts")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("event {i}: X without numeric ts"))?;
+                let dur = ev
+                    .get("dur")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("event {i}: X without numeric dur"))?;
+                if ev.get("tid").and_then(Value::as_f64).is_none() {
+                    return Err(format!("event {i}: X without tid"));
+                }
+                if !ts.is_finite() || !dur.is_finite() || dur < 0.0 {
+                    return Err(format!("event {i}: bad ts/dur ({ts}/{dur})"));
+                }
+                stats.slices += 1;
+            }
+            "C" => {
+                ev.get("ts")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("event {i}: C without numeric ts"))?;
+                let args = ev
+                    .get("args")
+                    .ok_or_else(|| format!("event {i}: C without args"))?;
+                let fields = args
+                    .as_object()
+                    .ok_or_else(|| format!("event {i}: C args not an object"))?;
+                if fields.is_empty() {
+                    return Err(format!("event {i}: C with empty args"));
+                }
+                for (k, v) in fields {
+                    if v.as_f64().is_none() {
+                        return Err(format!("event {i}: C arg {k} not numeric"));
+                    }
+                }
+                stats.counters += 1;
+            }
+            "M" => stats.metadata += 1,
+            other => return Err(format!("event {i}: unsupported ph {other:?}")),
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two procs: p0 runs unit 0 then unit 2 (waiting on remote unit 1),
+    /// p1 runs unit 1 with a transfer to p0.
+    fn sample() -> Timeline {
+        let sink = TimelineSink::new();
+        sink.record_all([
+            TimelineEvent {
+                t: 0.0,
+                proc: 0,
+                kind: EventKind::UnitStart {
+                    unit: 0,
+                    edge: StartEdge::Free,
+                },
+            },
+            TimelineEvent {
+                t: 2.0,
+                proc: 0,
+                kind: EventKind::UnitEnd {
+                    unit: 0,
+                    compute: 2.0,
+                    transfer: 0.0,
+                },
+            },
+            TimelineEvent {
+                t: 0.0,
+                proc: 1,
+                kind: EventKind::UnitStart {
+                    unit: 1,
+                    edge: StartEdge::Free,
+                },
+            },
+            TimelineEvent {
+                t: 3.0,
+                proc: 1,
+                kind: EventKind::UnitEnd {
+                    unit: 1,
+                    compute: 3.0,
+                    transfer: 0.0,
+                },
+            },
+            TimelineEvent {
+                t: 2.0,
+                proc: 0,
+                kind: EventKind::Wait {
+                    unit: 2,
+                    pred: 1,
+                    dur: 2.0,
+                },
+            },
+            TimelineEvent {
+                t: 4.0,
+                proc: 0,
+                kind: EventKind::TransferStart {
+                    unit: 2,
+                    peer: 1,
+                    bytes: 80,
+                },
+            },
+            TimelineEvent {
+                t: 5.0,
+                proc: 0,
+                kind: EventKind::TransferEnd {
+                    unit: 2,
+                    peer: 1,
+                    bytes: 80,
+                },
+            },
+            TimelineEvent {
+                t: 4.0,
+                proc: 0,
+                kind: EventKind::UnitStart {
+                    unit: 2,
+                    edge: StartEdge::DataReady {
+                        pred: 1,
+                        remote: true,
+                    },
+                },
+            },
+            TimelineEvent {
+                t: 6.0,
+                proc: 0,
+                kind: EventKind::UnitEnd {
+                    unit: 2,
+                    compute: 1.0,
+                    transfer: 1.0,
+                },
+            },
+            TimelineEvent {
+                t: 0.5,
+                proc: 0,
+                kind: EventKind::Ready { unit: 2 },
+            },
+            TimelineEvent {
+                t: 3.0,
+                proc: 1,
+                kind: EventKind::Idle { dur: 3.0 },
+            },
+        ]);
+        sink.finish()
+    }
+
+    #[test]
+    fn finish_orders_per_track() {
+        let tl = sample();
+        let mut last = (0u32, f64::NEG_INFINITY);
+        for e in &tl.events {
+            assert!(
+                e.proc > last.0 || (e.proc == last.0 && e.t >= last.1),
+                "events out of order: {e:?} after {last:?}"
+            );
+            last = (e.proc, e.t);
+        }
+        assert_eq!(tl.nprocs(), 2);
+        assert_eq!(tl.makespan(), 6.0);
+    }
+
+    #[test]
+    fn busy_and_blocked_sums() {
+        let tl = sample();
+        assert_eq!(tl.busy_per_proc(), vec![4.0, 3.0]);
+        assert_eq!(tl.blocked_per_proc(), vec![2.0, 0.0]);
+    }
+
+    #[test]
+    fn critical_path_telescopes_to_makespan() {
+        let tl = sample();
+        let cp = tl.critical_path(2);
+        // Path: unit 1 (free, ends 3) -> unit 2 (waited on 1, 4..6).
+        assert_eq!(
+            cp.hops.iter().map(|h| h.unit).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+        assert!((cp.attributed() - cp.makespan).abs() < 1e-12);
+        assert_eq!(cp.makespan, 6.0);
+        assert_eq!(cp.wait, 1.0); // unit 2 started 1.0 after unit 1 ended
+        assert_eq!(cp.bottlenecks.len(), 2);
+        assert_eq!(cp.bottlenecks[0].unit, 1);
+        assert!(!cp.to_text().is_empty());
+    }
+
+    #[test]
+    fn reconcile_accepts_consistent_report() {
+        let tl = sample();
+        tl.reconcile(&[4.0, 3.0], 6.0, 1e-12).unwrap();
+        assert!(tl.reconcile(&[4.0, 2.0], 6.0, 1e-12).is_err());
+        assert!(tl.reconcile(&[4.0, 3.0], 5.0, 1e-12).is_err());
+    }
+
+    #[test]
+    fn chrome_export_validates() {
+        let tl = sample();
+        let json = tl.to_chrome_trace();
+        let doc = crate::json::parse(&json).expect("chrome trace parses");
+        let stats = validate_chrome_trace(&doc).expect("chrome trace validates");
+        // 3 unit slices + 1 transfer + 1 wait + 1 idle.
+        assert_eq!(stats.slices, 6);
+        assert!(stats.counters >= 4); // ready up/down + bytes up/down
+        assert_eq!(stats.metadata, 5); // process + 2 tracks x 2 procs
+    }
+
+    #[test]
+    fn overlap_is_detected() {
+        let sink = TimelineSink::new();
+        for (unit, start, end) in [(0u32, 0.0, 3.0), (1u32, 2.0, 4.0)] {
+            sink.record(TimelineEvent {
+                t: start,
+                proc: 0,
+                kind: EventKind::UnitStart {
+                    unit,
+                    edge: StartEdge::Free,
+                },
+            });
+            sink.record(TimelineEvent {
+                t: end,
+                proc: 0,
+                kind: EventKind::UnitEnd {
+                    unit,
+                    compute: end - start,
+                    transfer: 0.0,
+                },
+            });
+        }
+        let tl = sink.finish();
+        let err = tl.reconcile(&[5.0], 4.0, 1e-12).unwrap_err();
+        assert!(err.contains("before previous end"), "{err}");
+    }
+
+    #[test]
+    fn empty_timeline_is_benign() {
+        let tl = TimelineSink::new().finish();
+        assert_eq!(tl.nprocs(), 0);
+        assert_eq!(tl.makespan(), 0.0);
+        let cp = tl.critical_path(3);
+        assert!(cp.hops.is_empty());
+        assert_eq!(cp.attributed(), 0.0);
+        let doc = crate::json::parse(&tl.to_chrome_trace()).unwrap();
+        validate_chrome_trace(&doc).unwrap();
+    }
+}

@@ -1,14 +1,46 @@
 #!/usr/bin/env bash
-# Regenerates the tracked benchmark baseline (BENCH_pipeline.json).
-# Run from anywhere; all arguments pass through to the bench binary:
+# Regenerates or gates the tracked benchmark baseline (BENCH_pipeline.json).
+# Run from anywhere. Without a mode flag, all arguments pass through to
+# the bench binary:
 #
 #   scripts/bench.sh                 # full run, rewrites BENCH_pipeline.json
 #   scripts/bench.sh --smoke         # tiny grid, schema validation only
 #   scripts/bench.sh --out /tmp/b.json
 #   scripts/bench.sh --side 300 --grain 50 --out /tmp/b.json
 #
-# See docs/PERFORMANCE.md for how to read the output.
+# Gate modes run a fresh full benchmark into a temp file and diff every
+# time-like leaf against the committed baseline with bench_regression,
+# failing on >15% slowdowns or missing leaves:
+#
+#   scripts/bench.sh --gate          # exit 1 on regression
+#   scripts/bench.sh --gate-report   # same diff, never fails the build
+#
+# Remaining arguments after --gate/--gate-report pass through to the
+# fresh bench run (e.g. `scripts/bench.sh --gate --smoke` for a quick
+# machinery check — expect missing leaves against the full baseline).
+# See docs/PERFORMANCE.md for how to read the output and
+# docs/OBSERVABILITY.md for the regression-gate workflow.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-exec cargo run --release -q -p spfactor-bench --bin bench_pipeline -- "$@"
+case "${1:-}" in
+  --gate|--gate-report)
+    mode="$1"
+    shift
+    fresh="$(mktemp)"
+    trap 'rm -f "$fresh"' EXIT
+    echo "==> fresh benchmark run (baseline untouched)"
+    cargo run --release -q -p spfactor-bench --bin bench_pipeline -- --out "$fresh" "$@"
+    echo "==> diff against BENCH_pipeline.json"
+    if [ "$mode" = "--gate-report" ]; then
+      cargo run --release -q -p spfactor-bench --bin bench_regression -- \
+        --baseline BENCH_pipeline.json --new "$fresh" --report-only
+    else
+      cargo run --release -q -p spfactor-bench --bin bench_regression -- \
+        --baseline BENCH_pipeline.json --new "$fresh"
+    fi
+    ;;
+  *)
+    exec cargo run --release -q -p spfactor-bench --bin bench_pipeline -- "$@"
+    ;;
+esac

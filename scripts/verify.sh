@@ -73,6 +73,32 @@ for field in '"schema": "spfactor-bench-pipeline/2"' \
 done
 rm -f "$bench_json"
 
+echo "==> timeline smoke: LAP30 traces export, validate, and reconcile"
+# The timeline binary self-checks every export: the virtual-clock
+# timeline must reconcile exactly against the timed report and each
+# trace must pass the Chrome-trace validator before it is written.
+timeline_dir="$(mktemp -d)"
+cargo run --release -q -p spfactor-bench --bin timeline -- \
+  --out-dir "$timeline_dir" --nprocs 8 > /dev/null
+for f in lap30_block_sim lap30_block_mp lap30_wrap_sim lap30_wrap_mp; do
+  [ -s "$timeline_dir/$f.json" ] \
+    || { echo "timeline smoke did not write $f.json"; exit 1; }
+done
+rm -rf "$timeline_dir"
+
+echo "==> bench regression gate: self-diff passes, report-only never fails"
+# Identical documents must compare clean; a smoke run diffed against the
+# full baseline exercises the missing-leaf path without failing verify.
+cargo run --release -q -p spfactor-bench --bin bench_regression -- \
+  --baseline BENCH_pipeline.json --new BENCH_pipeline.json > /dev/null \
+  || { echo "bench_regression failed a self-compare"; exit 1; }
+regress_json="$(mktemp)"
+scripts/bench.sh --smoke --out "$regress_json" > /dev/null
+cargo run --release -q -p spfactor-bench --bin bench_regression -- \
+  --baseline BENCH_pipeline.json --new "$regress_json" --report-only \
+  | tail -n 2
+rm -f "$regress_json"
+
 echo "==> docs: every docs/*.md is linked from README.md"
 for doc in docs/*.md; do
   grep -qF "$doc" README.md \

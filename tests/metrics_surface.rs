@@ -362,6 +362,92 @@ mod enabled {
     }
 
     #[test]
+    fn timeline_gauges_match_the_capture() {
+        // The documented timeline.* surface (docs/METRICS.md): gauges
+        // mirror the TimelineCapture the pipeline returns, and the
+        // capture phase emits its span.
+        let rec = Arc::new(Recorder::new());
+        let m = spfactor::matrix::gen::paper::lap30();
+        let result = Pipeline::new(m.pattern)
+            .grain(4)
+            .processors(16)
+            .timeline(true)
+            .with_recorder(rec.clone())
+            .run();
+        let tl = result.timeline.as_ref().expect("timeline captured");
+        assert_eq!(
+            rec.gauge_value("timeline.events"),
+            Some(tl.simulated.events.len() as f64)
+        );
+        assert_eq!(
+            rec.gauge_value("timeline.makespan"),
+            Some(tl.timed.makespan)
+        );
+        assert_eq!(
+            rec.gauge_value("timeline.critical.hops"),
+            Some(tl.critical_path.hops.len() as f64)
+        );
+        assert_eq!(
+            rec.gauge_value("timeline.critical.compute"),
+            Some(tl.critical_path.compute)
+        );
+        assert_eq!(
+            rec.gauge_value("timeline.critical.transfer"),
+            Some(tl.critical_path.transfer)
+        );
+        assert_eq!(
+            rec.gauge_value("timeline.critical.wait"),
+            Some(tl.critical_path.wait)
+        );
+        let stats = rec.span_stats("phase.timeline").expect("timeline span");
+        assert_eq!(stats.count, 1);
+        // Analytic backend: no executed timeline, no mp gauges.
+        assert!(tl.executed.is_none());
+        assert_eq!(rec.gauge_value("timeline.mp.events"), None);
+    }
+
+    #[test]
+    fn mp_timeline_gauges_follow_the_executed_capture() {
+        let rec = Arc::new(Recorder::new());
+        let result = Pipeline::new(spfactor::matrix::gen::lap9(8, 8))
+            .grain(4)
+            .processors(4)
+            .backend(spfactor::ExecutionBackend::MessagePassing(
+                spfactor::NetworkModel::default(),
+            ))
+            .timeline(true)
+            .with_recorder(rec.clone())
+            .run();
+        let tl = result.timeline.as_ref().expect("timeline captured");
+        let executed = tl.executed.as_ref().expect("mp timeline captured");
+        assert_eq!(
+            rec.gauge_value("timeline.mp.events"),
+            Some(executed.events.len() as f64)
+        );
+        assert_eq!(
+            rec.gauge_value("timeline.mp.makespan"),
+            Some(executed.makespan())
+        );
+    }
+
+    #[test]
+    fn bench_regression_gauges_are_recorded() {
+        // The documented bench.regression.* surface (docs/METRICS.md):
+        // RegressionReport::record mirrors the comparison outcome.
+        use spfactor::trace::{json, regress};
+        let base = json::parse(r#"{"phases_ms": {"order": 10.0, "deps": 100.0}}"#).unwrap();
+        let cand = json::parse(r#"{"phases_ms": {"order": 10.0, "deps": 130.0}}"#).unwrap();
+        let report = regress::compare(&base, &cand, &regress::RegressOptions::default());
+        let rec = Recorder::new();
+        report.record(&rec);
+        assert_eq!(rec.gauge_value("bench.regression.checked"), Some(2.0));
+        assert_eq!(rec.gauge_value("bench.regression.missing"), Some(0.0));
+        assert_eq!(rec.gauge_value("bench.regression.count"), Some(1.0));
+        assert_eq!(rec.gauge_value("bench.regression.max_ratio"), Some(1.3));
+        assert!(!report.passed());
+    }
+
+    #[test]
     fn order_alg_counter_names_the_method() {
         let (_result, rec) = run_lap30_block();
         assert_eq!(rec.counter("order.alg.mmd"), 1);
