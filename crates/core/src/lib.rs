@@ -72,7 +72,7 @@ pub use spfactor_mp::{FaultPlan, MpError, MpReport, NetworkModel};
 pub use spfactor_numeric::NumericError;
 pub use spfactor_order::Ordering;
 pub use spfactor_partition::{DepGraph, DepsEngine, Partition, PartitionParams};
-pub use spfactor_sched::Assignment;
+pub use spfactor_sched::{Assignment, ScheduleArtifact, ScheduleKey};
 pub use spfactor_simulate::{SimulateEngine, TrafficReport, WorkReport};
 pub use spfactor_symbolic::SymbolicFactor;
 pub use spfactor_trace::{CriticalPathReport, Timeline, TimelineSink};
@@ -154,14 +154,10 @@ impl From<MpError> for SpfactorError {
 /// Error returned by [`Pipeline::try_run`] — the workspace taxonomy.
 pub type PipelineError = SpfactorError;
 
-/// Which mapping scheme the pipeline runs.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Scheme {
-    /// The paper's block-based partitioning and allocation.
-    Block,
-    /// The wrap-mapped column baseline.
-    Wrap,
-}
+/// Which mapping scheme the pipeline runs. Defined in [`sched`] (it is
+/// part of the [`ScheduleKey`] cache identity) and re-exported here
+/// unchanged.
+pub use spfactor_sched::Scheme;
 
 /// How (and whether) the pipeline *executes* the schedule after the
 /// analytic simulation. See the README's "Choosing the execution
@@ -492,10 +488,54 @@ impl Pipeline {
     /// stage runs under a `phase.*` span and the instrumented variants of
     /// the phase entry points, so the recorder ends up with the complete
     /// metrics surface of the run.
+    ///
+    /// Internally this is [`Pipeline::try_run_ref`]; callers that solve
+    /// repeatedly should keep the pipeline and call the borrowing entry
+    /// points (or better, plan once with [`Pipeline::try_plan`] and
+    /// reuse the [`ScheduleArtifact`]).
     pub fn try_run(self) -> Result<PipelineResult, PipelineError> {
+        self.try_run_ref()
+    }
+
+    /// Borrowing form of [`Pipeline::try_run`]: runs every stage without
+    /// consuming the builder, so one configured pipeline can be run many
+    /// times (each run re-plans; see [`Pipeline::try_plan`] /
+    /// [`Pipeline::try_run_planned`] to amortize the front end instead).
+    pub fn try_run_ref(&self) -> Result<PipelineResult, PipelineError> {
+        let artifact = self.try_plan()?;
+        self.run_planned_unchecked(&artifact)
+    }
+
+    /// Borrowing, panicking form of [`Pipeline::try_run_ref`].
+    pub fn run_ref(&self) -> PipelineResult {
+        self.try_run_ref()
+            .unwrap_or_else(|e| panic!("pipeline failed: {e}"))
+    }
+
+    /// Runs the pattern-only front end — ordering, symbolic
+    /// factorization, partitioning, dependency analysis, processor
+    /// allocation — and freezes the result as an immutable, hashable
+    /// [`ScheduleArtifact`]. The artifact depends only on the sparsity
+    /// pattern and the front-end parameters (its [`ScheduleKey`]), so it
+    /// can be cached and reused across many numeric factorizations and
+    /// solves: that is exactly what the `spfactor-serve` schedule cache
+    /// does.
+    ///
+    /// ```
+    /// use spfactor::Pipeline;
+    ///
+    /// let pipeline = Pipeline::new(spfactor::matrix::gen::lap9(8, 8)).processors(4);
+    /// let artifact = pipeline.try_plan().unwrap();
+    /// // Re-running against the artifact skips the whole front end and
+    /// // produces the identical result.
+    /// let cached = pipeline.try_run_planned(&artifact).unwrap();
+    /// let fresh = pipeline.try_run_ref().unwrap();
+    /// assert_eq!(cached.traffic, fresh.traffic);
+    /// assert_eq!(cached.work, fresh.work);
+    /// ```
+    pub fn try_plan(&self) -> Result<ScheduleArtifact, PipelineError> {
         self.validate()?;
-        let recorder = self.recorder.clone();
-        let rec = recorder.as_deref();
+        let rec = self.recorder.as_deref();
 
         let perm = match rec {
             Some(r) => {
@@ -549,13 +589,90 @@ impl Pipeline {
             }
         };
 
+        Ok(ScheduleArtifact::new(
+            self.key(),
+            perm,
+            factor,
+            partition,
+            deps,
+            assignment,
+        ))
+    }
+
+    /// Panicking form of [`Pipeline::try_plan`].
+    pub fn plan(&self) -> ScheduleArtifact {
+        self.try_plan()
+            .unwrap_or_else(|e| panic!("pipeline plan failed: {e}"))
+    }
+
+    /// The [`ScheduleKey`] this pipeline's front end would be cached
+    /// under: the structural hash of the input pattern plus the
+    /// ordering/grain/scheme/processor parameters.
+    pub fn key(&self) -> ScheduleKey {
+        ScheduleKey::new(
+            &self.pattern,
+            self.ordering,
+            self.params,
+            self.scheme,
+            self.nprocs,
+        )
+    }
+
+    /// Runs only the back end — simulation, optional timeline capture,
+    /// optional message-passing execution — against a previously planned
+    /// [`ScheduleArtifact`], skipping the entire front end. The artifact
+    /// must have been planned under this pipeline's [`Pipeline::key`]
+    /// (same pattern, same parameters); a mismatch is rejected as
+    /// [`SpfactorError::InvalidParameter`] rather than producing a
+    /// schedule that silently disagrees with the configuration.
+    ///
+    /// Results are bit-identical to a fresh [`Pipeline::try_run`]: the
+    /// artifact *is* the front half of the run, frozen.
+    pub fn try_run_planned(
+        &self,
+        artifact: &ScheduleArtifact,
+    ) -> Result<PipelineResult, PipelineError> {
+        self.validate()?;
+        let expected = self.key();
+        if artifact.key() != &expected {
+            return Err(SpfactorError::InvalidParameter {
+                param: "artifact",
+                message: format!(
+                    "schedule artifact key {:?} does not match the pipeline key {:?}",
+                    artifact.key(),
+                    expected
+                ),
+            });
+        }
+        self.run_planned_unchecked(artifact)
+    }
+
+    /// Panicking form of [`Pipeline::try_run_planned`].
+    pub fn run_planned(&self, artifact: &ScheduleArtifact) -> PipelineResult {
+        self.try_run_planned(artifact)
+            .unwrap_or_else(|e| panic!("pipeline failed: {e}"))
+    }
+
+    /// Back-end phases against a trusted artifact (key already checked,
+    /// or freshly planned by this very pipeline).
+    fn run_planned_unchecked(
+        &self,
+        artifact: &ScheduleArtifact,
+    ) -> Result<PipelineResult, PipelineError> {
+        let recorder = self.recorder.clone();
+        let rec = recorder.as_deref();
+        let (factor, partition, deps, assignment) = (
+            artifact.factor(),
+            artifact.partition(),
+            artifact.deps(),
+            artifact.assignment(),
+        );
+
         let (traffic, work) = {
             let _phase = rec.map(|r| r.span("phase.simulate"));
             match rec {
-                Some(r) => {
-                    simulate::simulate_traced(self.engine, &factor, &partition, &assignment, r)
-                }
-                None => simulate::simulate(self.engine, &factor, &partition, &assignment),
+                Some(r) => simulate::simulate_traced(self.engine, factor, partition, assignment, r),
+                None => simulate::simulate(self.engine, factor, partition, assignment),
             }
         };
 
@@ -565,10 +682,10 @@ impl Pipeline {
             let _phase = rec.map(|r| r.span("phase.timeline"));
             let sink = TimelineSink::new();
             let timed = simulate_timed_observed(
-                &factor,
-                &partition,
-                &deps,
-                &assignment,
+                factor,
+                partition,
+                deps,
+                assignment,
                 &CommModel::default(),
                 OrderPolicy::ScanOrder,
                 rec,
@@ -598,8 +715,9 @@ impl Pipeline {
             ExecutionBackend::Analytic => None,
             ExecutionBackend::MessagePassing(model) => {
                 let _phase = rec.map(|r| r.span("phase.execute"));
+                let permuted = self.pattern.permute(artifact.permutation());
                 let a = matrix::gen::spd_from_pattern(&permuted, EXECUTION_VALUES_SEED);
-                let config = match self.fault_plan {
+                let config = match self.fault_plan.clone() {
                     Some(plan) => mp::MpConfig {
                         fault: plan,
                         ..mp::MpConfig::reliable(model)
@@ -608,10 +726,10 @@ impl Pipeline {
                 };
                 let report = mp::execute_observed(
                     &a,
-                    &factor,
-                    &partition,
-                    &deps,
-                    &assignment,
+                    factor,
+                    partition,
+                    deps,
+                    assignment,
                     &config,
                     rec,
                     mp_sink.as_ref(),
@@ -635,11 +753,11 @@ impl Pipeline {
         });
 
         Ok(PipelineResult {
-            permutation: perm,
-            factor,
-            partition,
-            deps,
-            assignment,
+            permutation: artifact.permutation().clone(),
+            factor: factor.clone(),
+            partition: partition.clone(),
+            deps: deps.clone(),
+            assignment: assignment.clone(),
             traffic,
             work,
             execution,
@@ -912,6 +1030,69 @@ mod tests {
             );
             assert!(rec.span_stats("phase.timeline").is_some());
         }
+    }
+
+    #[test]
+    fn planned_run_matches_fresh_run_exactly() {
+        let p = gen::lap9(9, 9);
+        let pipeline = Pipeline::new(p).processors(6);
+        let artifact = pipeline.try_plan().expect("plans");
+        let planned = pipeline.try_run_planned(&artifact).expect("runs");
+        let fresh = pipeline.try_run_ref().expect("runs");
+        assert_eq!(planned.traffic, fresh.traffic);
+        assert_eq!(planned.work, fresh.work);
+        assert_eq!(planned.deps, fresh.deps);
+        assert_eq!(planned.assignment, fresh.assignment);
+        assert_eq!(planned.permutation, fresh.permutation);
+        assert_eq!(planned.factor.fingerprint(), fresh.factor.fingerprint());
+        // Planning twice freezes the identical artifact.
+        assert_eq!(
+            artifact.fingerprint(),
+            pipeline.try_plan().unwrap().fingerprint()
+        );
+    }
+
+    #[test]
+    fn planned_run_drives_the_mp_backend() {
+        let p = gen::lap9(8, 8);
+        let pipeline = Pipeline::new(p)
+            .processors(4)
+            .backend(ExecutionBackend::MessagePassing(NetworkModel::default()));
+        let artifact = pipeline.try_plan().expect("plans");
+        let a = pipeline.try_run_planned(&artifact).expect("runs");
+        let b = pipeline.try_run_planned(&artifact).expect("runs again");
+        let (ea, eb) = (a.execution.as_ref().unwrap(), b.execution.as_ref().unwrap());
+        // Bit-identical executed factors across reuses of one artifact.
+        assert_eq!(ea.factor, eb.factor);
+        assert_eq!(ea.traffic_report(), a.traffic);
+    }
+
+    #[test]
+    fn run_planned_rejects_foreign_artifacts() {
+        let p = gen::lap9(8, 8);
+        let artifact = Pipeline::new(p.clone()).processors(4).plan();
+        // Same pattern, different processor count: different key.
+        let err = Pipeline::new(p)
+            .processors(8)
+            .try_run_planned(&artifact)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SpfactorError::InvalidParameter {
+                param: "artifact",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn pipeline_key_tracks_configuration() {
+        let p = gen::lap9(6, 6);
+        let a = Pipeline::new(p.clone()).processors(4).key();
+        assert_eq!(a, Pipeline::new(p.clone()).processors(4).key());
+        assert_ne!(a, Pipeline::new(p.clone()).processors(5).key());
+        assert_ne!(a, Pipeline::new(p.clone()).grain(25).processors(4).key());
+        assert_ne!(a, Pipeline::new(p).scheme(Scheme::Wrap).processors(4).key());
     }
 
     #[test]

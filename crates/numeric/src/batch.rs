@@ -1,0 +1,153 @@
+//! Batched numeric entry points for repeated-solve workloads.
+//!
+//! The pattern-only front end (ordering, symbolic factorization,
+//! partitioning, scheduling) is the expensive part of a sparse direct
+//! solve; once it is frozen — see `spfactor_sched::ScheduleArtifact` —
+//! many value sets and many right-hand sides can be run against one
+//! symbolic factor. This module provides those amortized paths:
+//!
+//! * [`factorize_many`] — numeric factorization of many value matrices
+//!   sharing one structure, each bit-identical to a standalone
+//!   [`cholesky`] call;
+//! * [`solve_many`] — forward/backward substitution of many right-hand
+//!   sides against one factor (in permuted coordinates);
+//! * [`solve_many_permuted`] — the same with the fill-reducing
+//!   permutation applied around each solve, i.e. solutions of the
+//!   *original* system `A x = b`.
+//!
+//! The `spfactor-serve` solver service batches requests through these.
+
+use crate::factor::{cholesky, NumericFactor};
+use crate::solve::{lower_solve, upper_solve};
+use crate::NumericError;
+use spfactor_matrix::{Permutation, SymmetricCsc};
+use spfactor_symbolic::SymbolicFactor;
+
+/// Factors every value matrix in `values` against one shared symbolic
+/// factor. Each result is bit-identical to `cholesky(a, symbolic)` run
+/// standalone; the batch form exists so callers amortize the symbolic
+/// analysis (and, through the serve layer, the whole front end) over
+/// the batch. Fails on the first non-SPD or structure-mismatched
+/// matrix, identifying it by batch position.
+pub fn factorize_many<'a, I>(
+    symbolic: &SymbolicFactor,
+    values: I,
+) -> Result<Vec<NumericFactor>, (usize, NumericError)>
+where
+    I: IntoIterator<Item = &'a SymmetricCsc>,
+{
+    values
+        .into_iter()
+        .enumerate()
+        .map(|(i, a)| cholesky(a, symbolic).map_err(|e| (i, e)))
+        .collect()
+}
+
+/// Solves `L Lᵀ x = b` for every right-hand side in `rhs`, in the
+/// factor's (permuted) coordinate system. Each solution is bit-identical
+/// to a standalone [`lower_solve`] + [`upper_solve`] pair.
+pub fn solve_many(l: &NumericFactor, rhs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    rhs.iter()
+        .map(|b| {
+            let mut x = b.clone();
+            lower_solve(l, &mut x);
+            upper_solve(l, &mut x);
+            x
+        })
+        .collect()
+}
+
+/// Solves the original system `A x = b` for every right-hand side: each
+/// `b` is permuted into factor coordinates (`P b`), solved through both
+/// triangles, and permuted back (`Pᵀ v`) — step 4 of the paper's direct
+/// solution process, batched.
+pub fn solve_many_permuted(
+    l: &NumericFactor,
+    perm: &Permutation,
+    rhs: &[Vec<f64>],
+) -> Vec<Vec<f64>> {
+    rhs.iter()
+        .map(|b| {
+            let mut u = perm.apply(b);
+            lower_solve(l, &mut u);
+            upper_solve(l, &mut u);
+            perm.apply_inverse(&u)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solve::{residual_norm, SpdSolver};
+    use spfactor_matrix::gen;
+    use spfactor_order::{order, Ordering};
+
+    #[test]
+    fn factorize_many_matches_single_shot() {
+        let p = gen::lap9(6, 6);
+        let symbolic = SymbolicFactor::from_pattern(&p);
+        let values: Vec<_> = (0..4).map(|s| gen::spd_from_pattern(&p, s)).collect();
+        let batch = factorize_many(&symbolic, &values).expect("all SPD");
+        assert_eq!(batch.len(), values.len());
+        for (a, l) in values.iter().zip(&batch) {
+            assert_eq!(l, &cholesky(a, &symbolic).unwrap(), "batch diverged");
+        }
+    }
+
+    #[test]
+    fn factorize_many_reports_the_failing_batch_index() {
+        let p = gen::lap9(4, 4);
+        let symbolic = SymbolicFactor::from_pattern(&p);
+        let good = gen::spd_from_pattern(&p, 1);
+        // Rebuild the same structure with a negated diagonal entry:
+        // not positive definite.
+        let mut coo = spfactor_matrix::Coo::new(good.n());
+        for j in 0..good.n() {
+            for (&i, &v) in good.col_rows(j).iter().zip(good.col_values(j)) {
+                let v = if i == j && j == 0 { -v } else { v };
+                coo.push(i, j, v).unwrap();
+            }
+        }
+        let bad = coo.to_csc();
+        let err = factorize_many(&symbolic, [&good, &bad]).unwrap_err();
+        assert_eq!(err.0, 1);
+        assert!(matches!(err.1, NumericError::NotPositiveDefinite(_)));
+    }
+
+    #[test]
+    fn solve_many_permuted_solves_the_original_system() {
+        let p = gen::lap9(7, 7);
+        let a = gen::spd_from_pattern(&p, 9);
+        let perm = order(&p, Ordering::paper_default());
+        let pa = a.permute(&perm);
+        let symbolic = SymbolicFactor::from_pattern(&pa.pattern());
+        let l = cholesky(&pa, &symbolic).unwrap();
+        let rhs: Vec<Vec<f64>> = (0..3)
+            .map(|k| (0..a.n()).map(|i| ((i + k) as f64).sin()).collect())
+            .collect();
+        let xs = solve_many_permuted(&l, &perm, &rhs);
+        // Same answers as the one-at-a-time solver.
+        let solver = SpdSolver::new(&a, Ordering::paper_default()).unwrap();
+        for (b, x) in rhs.iter().zip(&xs) {
+            assert!(residual_norm(&a, x, b) < 1e-9);
+            assert_eq!(x, &solver.solve(b), "batch solve diverged");
+        }
+    }
+
+    #[test]
+    fn solve_many_matches_manual_substitution() {
+        let p = gen::lap9(5, 5);
+        let a = gen::spd_from_pattern(&p, 3);
+        let symbolic = SymbolicFactor::from_pattern(&p);
+        let l = cholesky(&a, &symbolic).unwrap();
+        let rhs = vec![vec![1.0; a.n()], (0..a.n()).map(|i| i as f64).collect()];
+        let xs = solve_many(&l, &rhs);
+        for (b, x) in rhs.iter().zip(&xs) {
+            let mut manual = b.clone();
+            lower_solve(&l, &mut manual);
+            upper_solve(&l, &mut manual);
+            assert_eq!(x, &manual);
+        }
+    }
+}

@@ -22,8 +22,12 @@
 //!   factorization over the supernodal elimination tree (update matrices
 //!   on a stack), the third classic organization;
 //! * [`solve`] — forward/backward substitution and a whole-pipeline
-//!   [`solve::SpdSolver`] for `Ax = b`.
+//!   [`solve::SpdSolver`] for `Ax = b`;
+//! * [`batch`] — amortized entry points factoring many value sets and
+//!   solving many right-hand sides against one symbolic factor (the
+//!   numeric half of the `spfactor-serve` solver service).
 
+pub mod batch;
 pub mod block_parallel;
 pub mod factor;
 pub mod multifrontal;
@@ -31,6 +35,7 @@ pub mod parallel;
 pub mod solve;
 pub mod supernodal;
 
+pub use batch::{factorize_many, solve_many, solve_many_permuted};
 pub use block_parallel::{cholesky_block_parallel, cholesky_block_parallel_traced};
 pub use factor::{cholesky, NumericFactor};
 pub use multifrontal::cholesky_multifrontal;

@@ -46,7 +46,7 @@ use spfactor_matrix::{Permutation, SymmetricPattern};
 use spfactor_trace::Recorder;
 
 /// Ordering algorithm selector for [`order`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Ordering {
     /// Keep the natural (input) ordering.
     Natural,

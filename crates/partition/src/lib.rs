@@ -33,7 +33,7 @@ pub use sweep::{build_dependencies, build_dependencies_traced, sweep_dependencie
 pub use units::Partition;
 
 /// Tunable parameters of the partitioner.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct PartitionParams {
     /// Minimum number of matrix elements in a triangular unit block
     /// (the paper's *grain size*).

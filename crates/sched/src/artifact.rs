@@ -1,0 +1,437 @@
+//! The frozen, reusable output of the pattern-only front end.
+//!
+//! Everything the pipeline computes before numeric values enter —
+//! ordering, symbolic factorization, partitioning, dependency analysis,
+//! processor allocation — depends only on the sparsity structure and the
+//! scheduling parameters. A [`ScheduleArtifact`] packages that output as
+//! an immutable value keyed by a [`ScheduleKey`] (a stable structural
+//! hash of the CSC pattern plus every parameter that influences the
+//! front end), so repeated-solve workloads pay the front-end cost once
+//! per pattern and amortize it across every subsequent factorization and
+//! solve (the `spfactor-serve` cache stores exactly these).
+//!
+//! The artifact is:
+//!
+//! * **immutable** — fields are private; accessors hand out shared
+//!   references only, so a cached artifact can be shared across threads
+//!   (`Arc<ScheduleArtifact>`) without any interior synchronization;
+//! * **hashable** — [`ScheduleKey`] derives `Hash`/`Eq` and is stable
+//!   across processes and platforms (FNV-1a over the canonical CSC
+//!   arrays, see `SymmetricPattern::structural_hash`);
+//! * **serializable** — [`ScheduleArtifact::write_text`] archives the
+//!   key, fingerprint, permutation, and full schedule in the line
+//!   -oriented interchange format of [`crate::export`], and
+//!   [`read_artifact_text`] parses it back for inspection or external
+//!   tooling.
+
+use crate::export::{read_schedule, write_schedule, ScheduleDump};
+use crate::Assignment;
+use spfactor_matrix::{Permutation, SymmetricPattern};
+use spfactor_order::Ordering;
+use spfactor_partition::{DepGraph, Partition, PartitionParams};
+use spfactor_symbolic::SymbolicFactor;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Which mapping scheme a schedule was built with.
+///
+/// Lives in the scheduling crate (re-exported as `spfactor::Scheme`)
+/// because it is part of the schedule cache key: block and wrap runs of
+/// the same pattern produce different artifacts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// The paper's block-based partitioning and allocation.
+    Block,
+    /// The wrap-mapped column baseline.
+    Wrap,
+}
+
+impl Scheme {
+    /// Stable lowercase name used in serialized artifacts and bench JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scheme::Block => "block",
+            Scheme::Wrap => "wrap",
+        }
+    }
+}
+
+/// The complete identity of a front-end run: structural hash of the
+/// input pattern plus every parameter the front end consumes. Two
+/// pipelines with equal keys produce bit-identical artifacts, so the
+/// key is what pattern-keyed caches index on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ScheduleKey {
+    /// [`SymmetricPattern::structural_hash`] of the (unpermuted) input.
+    pub structural_hash: u64,
+    /// Matrix dimension (kept alongside the hash for cheap sanity
+    /// checks and observability; the hash already covers it).
+    pub n: usize,
+    /// The fill-reducing ordering algorithm.
+    pub ordering: Ordering,
+    /// The partitioner parameters (grains, minimum cluster width, zero
+    /// relaxation).
+    pub params: PartitionParams,
+    /// Block or wrap mapping.
+    pub scheme: Scheme,
+    /// Processor count the schedule targets.
+    pub nprocs: usize,
+}
+
+impl ScheduleKey {
+    /// Computes the key of a front-end run on `pattern` with the given
+    /// parameters.
+    pub fn new(
+        pattern: &SymmetricPattern,
+        ordering: Ordering,
+        params: PartitionParams,
+        scheme: Scheme,
+        nprocs: usize,
+    ) -> Self {
+        ScheduleKey {
+            structural_hash: pattern.structural_hash(),
+            n: pattern.n(),
+            ordering,
+            params,
+            scheme,
+            nprocs,
+        }
+    }
+}
+
+/// The frozen front-end output for one [`ScheduleKey`]: permutation,
+/// symbolic factor, partition, dependency graph, and processor
+/// assignment. See the module docs for the immutability / reuse
+/// contract; `Pipeline::try_plan` builds these and
+/// `Pipeline::try_run_planned` (and the `spfactor-serve` solver
+/// service) consume them.
+#[derive(Clone, Debug)]
+pub struct ScheduleArtifact {
+    key: ScheduleKey,
+    permutation: Permutation,
+    factor: SymbolicFactor,
+    partition: Partition,
+    deps: DepGraph,
+    assignment: Assignment,
+}
+
+impl ScheduleArtifact {
+    /// Freezes a front-end run into an artifact. Panics on internally
+    /// inconsistent parts (wrong permutation length, assignment size or
+    /// processor count) — the parts must all come from one run.
+    pub fn new(
+        key: ScheduleKey,
+        permutation: Permutation,
+        factor: SymbolicFactor,
+        partition: Partition,
+        deps: DepGraph,
+        assignment: Assignment,
+    ) -> Self {
+        assert_eq!(permutation.len(), key.n, "permutation size mismatch");
+        assert_eq!(factor.n(), key.n, "symbolic factor size mismatch");
+        assert_eq!(
+            assignment.proc_of_unit.len(),
+            partition.num_units(),
+            "assignment does not cover the partition"
+        );
+        assert_eq!(assignment.nprocs, key.nprocs, "processor count mismatch");
+        ScheduleArtifact {
+            key,
+            permutation,
+            factor,
+            partition,
+            deps,
+            assignment,
+        }
+    }
+
+    /// The cache key this artifact was built under.
+    pub fn key(&self) -> &ScheduleKey {
+        &self.key
+    }
+
+    /// The fill-reducing permutation (`perm[new] = old`).
+    pub fn permutation(&self) -> &Permutation {
+        &self.permutation
+    }
+
+    /// The symbolic factor, in permuted coordinates.
+    pub fn factor(&self) -> &SymbolicFactor {
+        &self.factor
+    }
+
+    /// Clusters and unit blocks.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// The unit-level dependency graph.
+    pub fn deps(&self) -> &DepGraph {
+        &self.deps
+    }
+
+    /// The unit → processor assignment.
+    pub fn assignment(&self) -> &Assignment {
+        &self.assignment
+    }
+
+    /// A stable 64-bit fingerprint over the whole artifact: the key, the
+    /// permutation, the symbolic-factor structure, and the processor
+    /// assignment. Two artifacts with equal fingerprints carry the same
+    /// frozen schedule, so equality of cached vs freshly planned runs
+    /// can be asserted cheaply.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut fold = |x: u64| {
+            for byte in x.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        fold(self.key.structural_hash);
+        fold(self.key.n as u64);
+        fold(self.key.nprocs as u64);
+        fold(self.factor.fingerprint());
+        for &old in self.permutation.as_slice() {
+            fold(old as u64);
+        }
+        fold(self.partition.num_units() as u64);
+        for &p in &self.assignment.proc_of_unit {
+            fold(p as u64);
+        }
+        for u in 0..self.partition.num_units() {
+            for &s in self.deps.preds(u) {
+                fold(s as u64);
+            }
+            fold(u64::MAX); // per-unit terminator keeps lists unambiguous
+        }
+        h
+    }
+
+    /// Serializes the artifact in the line-oriented interchange format:
+    /// an `spfactor-artifact v1` header carrying the key, fingerprint,
+    /// and permutation, followed by the schedule body of
+    /// [`crate::export::write_schedule`].
+    pub fn write_text<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        writeln!(w, "spfactor-artifact v1")?;
+        writeln!(
+            w,
+            "key hash {:016x} n {} ordering {:?} grain {} {} width {} relax {} scheme {} procs {}",
+            self.key.structural_hash,
+            self.key.n,
+            self.key.ordering,
+            self.key.params.grain_triangle,
+            self.key.params.grain_rectangle,
+            self.key.params.min_cluster_width,
+            self.key.params.relax_zeros,
+            self.key.scheme.name(),
+            self.key.nprocs,
+        )?;
+        writeln!(w, "fingerprint {:016x}", self.fingerprint())?;
+        write!(w, "perm")?;
+        for &old in self.permutation.as_slice() {
+            write!(w, " {old}")?;
+        }
+        writeln!(w)?;
+        write_schedule(w, &self.partition, &self.deps, &self.assignment)
+    }
+
+    /// [`write_text`](Self::write_text) into a `String`.
+    pub fn to_text(&self) -> String {
+        let mut buf = Vec::new();
+        self.write_text(&mut buf)
+            .expect("writing to a Vec cannot fail");
+        String::from_utf8(buf).expect("artifact text is ASCII")
+    }
+}
+
+/// A parsed artifact dump: the identifying header plus the schedule
+/// body. The symbolic factor is not serialized (it is cheap to rebuild
+/// from the pattern and the permutation); the fingerprint pins the
+/// original it was dumped from.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArtifactDump {
+    /// Structural hash recorded in the header.
+    pub structural_hash: u64,
+    /// Fingerprint of the artifact that was serialized.
+    pub fingerprint: u64,
+    /// The fill-reducing permutation.
+    pub permutation: Permutation,
+    /// The schedule body (unit geometry, predecessor lists, processor
+    /// map).
+    pub schedule: ScheduleDump,
+}
+
+/// Parses the text produced by [`ScheduleArtifact::write_text`].
+pub fn read_artifact_text<R: Read>(r: R) -> Result<ArtifactDump, String> {
+    let mut reader = BufReader::new(r);
+    let read_line = |reader: &mut BufReader<R>, what: &str| -> Result<String, String> {
+        let mut line = String::new();
+        reader
+            .read_line(&mut line)
+            .map_err(|e| format!("reading {what}: {e}"))?;
+        if line.is_empty() {
+            return Err(format!("missing {what} line"));
+        }
+        Ok(line.trim_end().to_string())
+    };
+    let magic = read_line(&mut reader, "header")?;
+    if magic != "spfactor-artifact v1" {
+        return Err(format!("not an artifact dump: {magic:?}"));
+    }
+    let key_line = read_line(&mut reader, "key")?;
+    let structural_hash = key_line
+        .strip_prefix("key hash ")
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|h| u64::from_str_radix(h, 16).ok())
+        .ok_or_else(|| format!("malformed key line: {key_line:?}"))?;
+    let fp_line = read_line(&mut reader, "fingerprint")?;
+    let fingerprint = fp_line
+        .strip_prefix("fingerprint ")
+        .and_then(|h| u64::from_str_radix(h, 16).ok())
+        .ok_or_else(|| format!("malformed fingerprint line: {fp_line:?}"))?;
+    let perm_line = read_line(&mut reader, "perm")?;
+    let perm: Vec<usize> = perm_line
+        .strip_prefix("perm")
+        .ok_or_else(|| format!("malformed perm line: {perm_line:?}"))?
+        .split_whitespace()
+        .map(|t| t.parse::<usize>().map_err(|e| format!("perm entry: {e}")))
+        .collect::<Result<_, _>>()?;
+    let permutation =
+        Permutation::from_vec(perm).map_err(|e| format!("invalid permutation: {e}"))?;
+    let schedule = read_schedule(reader)?;
+    Ok(ArtifactDump {
+        structural_hash,
+        fingerprint,
+        permutation,
+        schedule,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{block_allocation, wrap_allocation};
+    use spfactor_matrix::gen;
+    use spfactor_order::{order, Ordering};
+    use spfactor_partition::dependencies;
+
+    fn build(pattern: &SymmetricPattern, scheme: Scheme, nprocs: usize) -> ScheduleArtifact {
+        let ordering = Ordering::paper_default();
+        let params = PartitionParams::default();
+        let perm = order(pattern, ordering);
+        let factor = SymbolicFactor::from_pattern(&pattern.permute(&perm));
+        let (partition, assignment) = match scheme {
+            Scheme::Block => {
+                let p = Partition::build(&factor, &params);
+                let d = dependencies(&factor, &p);
+                let a = block_allocation(&p, &d, nprocs);
+                (p, a)
+            }
+            Scheme::Wrap => {
+                let p = Partition::columns(&factor);
+                let a = wrap_allocation(&p, nprocs);
+                (p, a)
+            }
+        };
+        let deps = dependencies(&factor, &partition);
+        let key = ScheduleKey::new(pattern, ordering, params, scheme, nprocs);
+        ScheduleArtifact::new(key, perm, factor, partition, deps, assignment)
+    }
+
+    #[test]
+    fn keys_separate_every_parameter() {
+        let p = gen::lap9(6, 6);
+        let q = gen::lap9(6, 7);
+        let base = ScheduleKey::new(
+            &p,
+            Ordering::paper_default(),
+            PartitionParams::default(),
+            Scheme::Block,
+            4,
+        );
+        let same = ScheduleKey::new(
+            &p,
+            Ordering::paper_default(),
+            PartitionParams::default(),
+            Scheme::Block,
+            4,
+        );
+        assert_eq!(base, same);
+        for other in [
+            ScheduleKey::new(
+                &q,
+                Ordering::paper_default(),
+                PartitionParams::default(),
+                Scheme::Block,
+                4,
+            ),
+            ScheduleKey::new(
+                &p,
+                Ordering::ReverseCuthillMcKee,
+                PartitionParams::default(),
+                Scheme::Block,
+                4,
+            ),
+            ScheduleKey::new(
+                &p,
+                Ordering::paper_default(),
+                PartitionParams::with_grain(25),
+                Scheme::Block,
+                4,
+            ),
+            ScheduleKey::new(
+                &p,
+                Ordering::paper_default(),
+                PartitionParams::default(),
+                Scheme::Wrap,
+                4,
+            ),
+            ScheduleKey::new(
+                &p,
+                Ordering::paper_default(),
+                PartitionParams::default(),
+                Scheme::Block,
+                8,
+            ),
+        ] {
+            assert_ne!(base, other);
+        }
+    }
+
+    #[test]
+    fn artifact_fingerprint_is_deterministic() {
+        let p = gen::lap9(7, 7);
+        let a = build(&p, Scheme::Block, 4);
+        let b = build(&p, Scheme::Block, 4);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let wrap = build(&p, Scheme::Wrap, 4);
+        assert_ne!(a.fingerprint(), wrap.fingerprint());
+    }
+
+    #[test]
+    fn artifact_text_round_trips() {
+        let p = gen::lap9(6, 6);
+        for scheme in [Scheme::Block, Scheme::Wrap] {
+            let artifact = build(&p, scheme, 3);
+            let text = artifact.to_text();
+            let dump = read_artifact_text(text.as_bytes()).expect("parses");
+            assert_eq!(dump.structural_hash, artifact.key().structural_hash);
+            assert_eq!(dump.fingerprint, artifact.fingerprint());
+            assert_eq!(&dump.permutation, artifact.permutation());
+            assert_eq!(
+                dump.schedule.proc_of_unit,
+                artifact.assignment().proc_of_unit
+            );
+            assert_eq!(dump.schedule.nprocs, 3);
+            assert_eq!(dump.schedule.units.len(), artifact.partition().num_units());
+        }
+    }
+
+    #[test]
+    fn read_rejects_garbage() {
+        assert!(read_artifact_text("not an artifact".as_bytes()).is_err());
+        assert!(read_artifact_text("spfactor-artifact v1\nkey nonsense".as_bytes()).is_err());
+    }
+}

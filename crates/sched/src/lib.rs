@@ -19,13 +19,18 @@
 //!   the paper's partitioner hands to its simulator);
 //! * [`order`] — the second half of scheduling the paper leaves open:
 //!   a deterministic topological execution order and the per-processor
-//!   work queues the `spfactor-mp` runtime executes.
+//!   work queues the `spfactor-mp` runtime executes;
+//! * [`artifact`] — the frozen, hashable [`ScheduleArtifact`] bundling
+//!   the whole pattern-only front end under a [`ScheduleKey`], the unit
+//!   the `spfactor-serve` schedule cache stores and reuses.
 
 pub mod alt;
+pub mod artifact;
 pub mod export;
 pub mod order;
 pub mod proportional;
 
+pub use artifact::{ScheduleArtifact, ScheduleKey, Scheme};
 pub use order::{processor_queues, topological_order};
 
 use spfactor_partition::{DepGraph, Partition, UnitShape};

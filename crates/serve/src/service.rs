@@ -1,0 +1,620 @@
+//! The batched solver service: admission-controlled queue in front of a
+//! schedule cache and the numeric kernels.
+//!
+//! A [`SolveRequest`] names a sparsity pattern plus front-end parameters
+//! (the [`ScheduleKey`] identity) and carries any number of
+//! [`ValueBatch`]es — value matrices sharing that pattern, each with any
+//! number of right-hand sides. The service:
+//!
+//! 1. resolves the frozen [`ScheduleArtifact`] through the
+//!    [`ScheduleCache`] (building it once per key, single-flight);
+//! 2. factors every value batch against the cached symbolic factor with
+//!    the requested [`ExecutionKernel`] — the sequential reference, the
+//!    schedule-driven block-parallel executor, or the full
+//!    message-passing runtime — all bit-identical by the workspace's
+//!    cross-validation invariant;
+//! 3. solves every right-hand side through [`spfactor::numeric::batch`],
+//!    returning solutions of the *original* system (the fill-reducing
+//!    permutation is applied around each solve).
+//!
+//! Two entry points share that path: [`SolverService::solve`] runs it
+//! synchronously on the caller's thread, and [`SolverService::submit`]
+//! enqueues onto a bounded queue drained by worker threads — full queue
+//! means [`ServeError::Overloaded`] at admission time, so overload sheds
+//! load instead of stretching every caller's latency.
+
+use crate::cache::{CacheStats, ScheduleCache};
+use crate::ServeError;
+use spfactor::matrix::{SymmetricCsc, SymmetricPattern};
+use spfactor::numeric::NumericFactor;
+use spfactor::sched::{ScheduleArtifact, ScheduleKey, Scheme};
+use spfactor::{mp, numeric, NetworkModel, Ordering, PartitionParams, Pipeline, Recorder};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Sliding window of per-request solve latencies kept for the
+/// `serve.latency.*` percentile gauges.
+const LATENCY_WINDOW: usize = 4096;
+
+/// Which numeric kernel executes a request's factorizations.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ExecutionKernel {
+    /// Left-looking sequential factorization — the reference kernel.
+    Sequential,
+    /// The schedule-driven shared-memory executor: one thread per
+    /// scheduled processor running the cached dependency graph.
+    BlockParallel,
+    /// The message-passing runtime: one thread per virtual processor
+    /// exchanging explicit messages under the given [`NetworkModel`].
+    MessagePassing(NetworkModel),
+}
+
+/// Service construction parameters.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Ready artifacts the schedule cache retains (LRU beyond this).
+    pub cache_capacity: usize,
+    /// Bounded queue depth for [`SolverService::submit`]; a full queue
+    /// rejects with [`ServeError::Overloaded`]. Clamped to at least 1.
+    pub queue_depth: usize,
+    /// Worker threads draining the queue. Clamped to at least 1.
+    pub workers: usize,
+    /// Optional metrics recorder; receives the whole `serve.*` surface
+    /// (see `docs/METRICS.md`) and the pipeline's `phase.*` spans for
+    /// cache-miss builds.
+    pub recorder: Option<Arc<Recorder>>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            cache_capacity: 8,
+            queue_depth: 64,
+            workers: 2,
+            recorder: None,
+        }
+    }
+}
+
+/// One value matrix (sharing the request's pattern) and its right-hand
+/// sides.
+#[derive(Clone, Debug)]
+pub struct ValueBatch {
+    /// Numeric values on the request's sparsity pattern, in original
+    /// (unpermuted) coordinates.
+    pub values: SymmetricCsc,
+    /// Right-hand sides of `A x = b`, original coordinates.
+    pub rhs: Vec<Vec<f64>>,
+}
+
+impl ValueBatch {
+    /// A batch with no right-hand sides yet (factor-only).
+    pub fn new(values: SymmetricCsc) -> Self {
+        ValueBatch {
+            values,
+            rhs: Vec::new(),
+        }
+    }
+
+    /// Adds a right-hand side.
+    pub fn with_rhs(mut self, b: Vec<f64>) -> Self {
+        self.rhs.push(b);
+        self
+    }
+}
+
+/// A batched solve request: one schedule identity, many value sets,
+/// many right-hand sides.
+#[derive(Clone, Debug)]
+pub struct SolveRequest {
+    /// The sparsity pattern every batch's values must share.
+    pub pattern: SymmetricPattern,
+    /// Ordering algorithm (part of the cache key).
+    pub ordering: Ordering,
+    /// Partitioning parameters (part of the cache key).
+    pub params: PartitionParams,
+    /// Block or wrap mapping (part of the cache key).
+    pub scheme: Scheme,
+    /// Processor count (part of the cache key).
+    pub nprocs: usize,
+    /// Numeric kernel for the factorizations (not part of the cache
+    /// key: all kernels produce bit-identical factors).
+    pub kernel: ExecutionKernel,
+    /// The value sets to factor and their right-hand sides.
+    pub batches: Vec<ValueBatch>,
+}
+
+impl SolveRequest {
+    /// A request with the pipeline's paper defaults and no batches.
+    pub fn new(pattern: SymmetricPattern) -> Self {
+        SolveRequest {
+            pattern,
+            ordering: Ordering::paper_default(),
+            params: PartitionParams::default(),
+            scheme: Scheme::Block,
+            nprocs: 4,
+            kernel: ExecutionKernel::Sequential,
+            batches: Vec::new(),
+        }
+    }
+
+    /// Sets the ordering algorithm.
+    pub fn ordering(mut self, o: Ordering) -> Self {
+        self.ordering = o;
+        self
+    }
+
+    /// Sets the partitioning parameters.
+    pub fn params(mut self, p: PartitionParams) -> Self {
+        self.params = p;
+        self
+    }
+
+    /// Sets block or wrap mapping.
+    pub fn scheme(mut self, s: Scheme) -> Self {
+        self.scheme = s;
+        self
+    }
+
+    /// Sets the processor count.
+    pub fn processors(mut self, n: usize) -> Self {
+        self.nprocs = n;
+        self
+    }
+
+    /// Sets the numeric kernel.
+    pub fn kernel(mut self, k: ExecutionKernel) -> Self {
+        self.kernel = k;
+        self
+    }
+
+    /// Adds a value batch.
+    pub fn batch(mut self, b: ValueBatch) -> Self {
+        self.batches.push(b);
+        self
+    }
+
+    /// The [`ScheduleKey`] this request resolves through the cache.
+    pub fn key(&self) -> ScheduleKey {
+        ScheduleKey::new(
+            &self.pattern,
+            self.ordering,
+            self.params,
+            self.scheme,
+            self.nprocs,
+        )
+    }
+}
+
+/// The numeric outcome for one [`ValueBatch`].
+#[derive(Clone, Debug)]
+pub struct BatchResult {
+    /// The Cholesky factor of the batch's (permuted) value matrix —
+    /// bit-identical across kernels and to a fresh `Pipeline` run.
+    pub factor: NumericFactor,
+    /// One solution per right-hand side, original coordinates.
+    pub solutions: Vec<Vec<f64>>,
+}
+
+/// The outcome of a [`SolveRequest`].
+#[derive(Clone, Debug)]
+pub struct SolveResponse {
+    /// The cache key the request resolved under.
+    pub key: ScheduleKey,
+    /// The (shared) schedule artifact used.
+    pub artifact: Arc<ScheduleArtifact>,
+    /// Whether the artifact was already resident (`true`) or this
+    /// request triggered / waited on the build (`false`).
+    pub cache_hit: bool,
+    /// Results, one per request batch in order.
+    pub batches: Vec<BatchResult>,
+}
+
+/// Receipt for a queued request; redeem with [`Ticket::wait`].
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<SolveResponse, ServeError>>,
+}
+
+impl Ticket {
+    /// Blocks until the worker finishes the request. Returns
+    /// [`ServeError::ShuttingDown`] if the service was dropped first.
+    pub fn wait(self) -> Result<SolveResponse, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::ShuttingDown))
+    }
+
+    /// Non-blocking probe: `None` while the request is still queued or
+    /// running.
+    pub fn try_wait(&self) -> Option<Result<SolveResponse, ServeError>> {
+        self.rx.try_recv().ok()
+    }
+}
+
+struct Job {
+    request: SolveRequest,
+    reply: mpsc::Sender<Result<SolveResponse, ServeError>>,
+}
+
+/// State shared between the handle and the workers.
+struct Shared {
+    cache: ScheduleCache,
+    recorder: Option<Arc<Recorder>>,
+    queue_depth: usize,
+    depth: AtomicUsize,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    latencies_ms: Mutex<VecDeque<f64>>,
+}
+
+impl Shared {
+    fn publish_queue_depth(&self) {
+        if let Some(rec) = &self.recorder {
+            rec.gauge(
+                "serve.queue.depth",
+                self.depth.load(AtomicOrdering::Relaxed) as f64,
+            );
+        }
+    }
+
+    /// Records one request latency and republishes the percentile
+    /// gauges over the sliding window.
+    fn record_latency(&self, ms: f64) {
+        let mut window = self.latencies_ms.lock().unwrap();
+        if window.len() == LATENCY_WINDOW {
+            window.pop_front();
+        }
+        window.push_back(ms);
+        if let Some(rec) = &self.recorder {
+            let mut sorted: Vec<f64> = window.iter().copied().collect();
+            drop(window);
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            rec.gauge("serve.latency.p50_ms", percentile(&sorted, 0.50));
+            rec.gauge("serve.latency.p90_ms", percentile(&sorted, 0.90));
+            rec.gauge("serve.latency.p99_ms", percentile(&sorted, 0.99));
+        }
+    }
+
+    /// The whole request path: validate, resolve the artifact, run the
+    /// numeric kernels. Called from workers and from the synchronous
+    /// entry point alike.
+    fn process(&self, request: &SolveRequest) -> Result<SolveResponse, ServeError> {
+        let started = Instant::now();
+        let n = request.pattern.n();
+        let expected_hash = request.pattern.structural_hash();
+        for batch in &request.batches {
+            let got = batch.values.pattern().structural_hash();
+            if got != expected_hash {
+                return Err(ServeError::ValuesMismatch {
+                    expected: expected_hash,
+                    got,
+                });
+            }
+            for b in &batch.rhs {
+                if b.len() != n {
+                    return Err(ServeError::RhsLength {
+                        expected: n,
+                        got: b.len(),
+                    });
+                }
+            }
+        }
+
+        let key = request.key();
+        let mut built_here = false;
+        let artifact = self.cache.get_or_build(key, || {
+            built_here = true;
+            let mut pipeline = Pipeline::new(request.pattern.clone())
+                .ordering(request.ordering)
+                .params(request.params)
+                .scheme(request.scheme)
+                .processors(request.nprocs);
+            if let Some(rec) = &self.recorder {
+                pipeline = pipeline.with_recorder(rec.clone());
+            }
+            pipeline
+                .try_plan()
+                .map_err(|e| ServeError::Build(Arc::new(e)))
+        })?;
+        // Waiters coalesced onto someone else's in-flight build count as
+        // hits here: they got the artifact without building it. The
+        // cache's own stats keep the finer hit/wait distinction.
+        let cache_hit = !built_here;
+
+        let solve_started = Instant::now();
+        let mut results = Vec::with_capacity(request.batches.len());
+        for batch in &request.batches {
+            let permuted = batch.values.permute(artifact.permutation());
+            let factor = match request.kernel {
+                ExecutionKernel::Sequential => numeric::cholesky(&permuted, artifact.factor())
+                    .map_err(ServeError::solve_numeric)?,
+                ExecutionKernel::BlockParallel => numeric::cholesky_block_parallel(
+                    &permuted,
+                    artifact.factor(),
+                    artifact.partition(),
+                    artifact.deps(),
+                    artifact.assignment(),
+                )
+                .map_err(ServeError::solve_numeric)?,
+                ExecutionKernel::MessagePassing(network) => {
+                    mp::execute(
+                        &permuted,
+                        artifact.factor(),
+                        artifact.partition(),
+                        artifact.deps(),
+                        artifact.assignment(),
+                        &network,
+                    )
+                    .map_err(|e| ServeError::Solve(Arc::new(spfactor::SpfactorError::from(e))))?
+                    .factor
+                }
+            };
+            let solutions =
+                numeric::batch::solve_many_permuted(&factor, artifact.permutation(), &batch.rhs);
+            results.push(BatchResult { factor, solutions });
+        }
+        if let Some(rec) = &self.recorder {
+            rec.record_span_ns("serve.solve", solve_started.elapsed().as_nanos() as u64);
+            rec.incr("serve.requests", 1);
+        }
+        self.completed.fetch_add(1, AtomicOrdering::Relaxed);
+        self.record_latency(started.elapsed().as_secs_f64() * 1e3);
+
+        Ok(SolveResponse {
+            key,
+            artifact,
+            cache_hit,
+            batches: results,
+        })
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// A long-lived batched solver: a [`ScheduleCache`] fronted by a
+/// bounded request queue and worker threads. See the module docs for
+/// the request path and [`ServeConfig`] for the knobs. Dropping the
+/// service stops the workers; queued requests observe
+/// [`ServeError::ShuttingDown`].
+pub struct SolverService {
+    shared: Arc<Shared>,
+    queue: Option<mpsc::SyncSender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for SolverService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SolverService")
+            .field("queue_depth", &self.shared.queue_depth)
+            .field("workers", &self.workers.len())
+            .field("cache", &self.shared.cache)
+            .finish()
+    }
+}
+
+impl SolverService {
+    /// Starts the service: builds the cache and spawns the workers.
+    pub fn start(config: ServeConfig) -> Self {
+        let mut cache = ScheduleCache::new(config.cache_capacity);
+        if let Some(rec) = &config.recorder {
+            cache = cache.with_recorder(rec.clone());
+        }
+        let shared = Arc::new(Shared {
+            cache,
+            recorder: config.recorder,
+            queue_depth: config.queue_depth.max(1),
+            depth: AtomicUsize::new(0),
+            rejected: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            latencies_ms: Mutex::new(VecDeque::new()),
+        });
+        let (tx, rx) = mpsc::sync_channel::<Job>(shared.queue_depth);
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = shared.clone();
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || loop {
+                        let job = match rx.lock().unwrap().recv() {
+                            Ok(job) => job,
+                            Err(_) => break, // service dropped
+                        };
+                        shared.depth.fetch_sub(1, AtomicOrdering::Relaxed);
+                        shared.publish_queue_depth();
+                        let outcome = shared.process(&job.request);
+                        // A dropped ticket is fine; the work still
+                        // warmed the cache.
+                        let _ = job.reply.send(outcome);
+                    })
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        SolverService {
+            shared,
+            queue: Some(tx),
+            workers,
+        }
+    }
+
+    /// Solves synchronously on the caller's thread (no queue, no
+    /// admission control — the caller provides the backpressure).
+    pub fn solve(&self, request: SolveRequest) -> Result<SolveResponse, ServeError> {
+        self.shared.process(&request)
+    }
+
+    /// Enqueues a request for the worker pool. Admission-controlled:
+    /// a full queue rejects immediately with [`ServeError::Overloaded`]
+    /// instead of blocking, so callers can shed or retry with backoff.
+    pub fn submit(&self, request: SolveRequest) -> Result<Ticket, ServeError> {
+        let queue = self.queue.as_ref().ok_or(ServeError::ShuttingDown)?;
+        let (reply, rx) = mpsc::channel();
+        match queue.try_send(Job { request, reply }) {
+            Ok(()) => {
+                self.shared.depth.fetch_add(1, AtomicOrdering::Relaxed);
+                self.shared.publish_queue_depth();
+                Ok(Ticket { rx })
+            }
+            Err(mpsc::TrySendError::Full(_)) => {
+                self.shared.rejected.fetch_add(1, AtomicOrdering::Relaxed);
+                if let Some(rec) = &self.shared.recorder {
+                    rec.incr("serve.queue.rejected", 1);
+                }
+                Err(ServeError::Overloaded {
+                    capacity: self.shared.queue_depth,
+                })
+            }
+            Err(mpsc::TrySendError::Disconnected(_)) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// The schedule cache's behaviour counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache.stats()
+    }
+
+    /// Direct access to the schedule cache (inspection, warm-up).
+    pub fn cache(&self) -> &ScheduleCache {
+        &self.shared.cache
+    }
+
+    /// Requests currently admitted but not yet picked up by a worker.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.depth.load(AtomicOrdering::Relaxed)
+    }
+
+    /// Requests rejected with [`ServeError::Overloaded`] so far.
+    pub fn rejected(&self) -> u64 {
+        self.shared.rejected.load(AtomicOrdering::Relaxed)
+    }
+
+    /// Requests completed (successfully) so far, both entry points.
+    pub fn completed(&self) -> u64 {
+        self.shared.completed.load(AtomicOrdering::Relaxed)
+    }
+}
+
+impl Drop for SolverService {
+    fn drop(&mut self) {
+        // Closing the channel stops the workers after the backlog
+        // drains; tickets for requests a worker never reached observe
+        // `ShuttingDown` when their reply sender drops.
+        self.queue = None;
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spfactor::matrix::gen;
+    use spfactor::numeric::solve::residual_norm;
+
+    fn request(cols: usize, seed: u64, nrhs: usize) -> SolveRequest {
+        let pattern = gen::lap9(cols, 4);
+        let values = gen::spd_from_pattern(&pattern, seed);
+        let n = pattern.n();
+        let mut batch = ValueBatch::new(values);
+        for k in 0..nrhs {
+            batch = batch.with_rhs((0..n).map(|i| ((i + k) as f64).cos()).collect());
+        }
+        SolveRequest::new(pattern).processors(2).batch(batch)
+    }
+
+    #[test]
+    fn sync_solve_produces_real_solutions() {
+        let service = SolverService::start(ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        });
+        let req = request(6, 3, 2);
+        let a = req.batches[0].values.clone();
+        let resp = service.solve(req).unwrap();
+        assert!(!resp.cache_hit);
+        let batch = &resp.batches[0];
+        assert_eq!(batch.solutions.len(), 2);
+        for (k, x) in batch.solutions.iter().enumerate() {
+            let b: Vec<f64> = (0..a.n()).map(|i| ((i + k) as f64).cos()).collect();
+            assert!(residual_norm(&a, x, &b) < 1e-9);
+        }
+        assert_eq!(service.completed(), 1);
+    }
+
+    #[test]
+    fn kernels_agree_bit_for_bit() {
+        let service = SolverService::start(ServeConfig::default());
+        let base = request(7, 5, 1);
+        let seq = service.solve(base.clone()).unwrap();
+        let par = service
+            .solve(base.clone().kernel(ExecutionKernel::BlockParallel))
+            .unwrap();
+        let mp = service
+            .solve(base.kernel(ExecutionKernel::MessagePassing(NetworkModel::default())))
+            .unwrap();
+        assert_eq!(seq.batches[0].factor, par.batches[0].factor);
+        assert_eq!(seq.batches[0].factor, mp.batches[0].factor);
+        assert_eq!(seq.batches[0].solutions, par.batches[0].solutions);
+        assert_eq!(seq.batches[0].solutions, mp.batches[0].solutions);
+        // One build, two hits: the kernel is not part of the cache key.
+        let s = service.cache_stats();
+        assert_eq!((s.misses, s.hits), (1, 2));
+        assert!(par.cache_hit && mp.cache_hit);
+    }
+
+    #[test]
+    fn submit_round_trips_through_the_queue() {
+        let service = SolverService::start(ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        });
+        let tickets: Vec<Ticket> = (0..4)
+            .map(|s| service.submit(request(5, s as u64, 1)).unwrap())
+            .collect();
+        for t in tickets {
+            let resp = t.wait().unwrap();
+            assert_eq!(resp.batches.len(), 1);
+        }
+        assert_eq!(service.completed(), 4);
+        assert_eq!(service.queue_depth(), 0);
+    }
+
+    #[test]
+    fn mismatched_values_and_rhs_are_rejected_before_building() {
+        let service = SolverService::start(ServeConfig::default());
+        let mut req = request(5, 1, 1);
+        // Values with a different pattern.
+        let other = gen::spd_from_pattern(&gen::lap9(6, 4), 1);
+        req.batches[0].values = other;
+        assert!(matches!(
+            service.solve(req).unwrap_err(),
+            ServeError::ValuesMismatch { .. }
+        ));
+        let mut req = request(5, 1, 1);
+        req.batches[0].rhs[0].pop();
+        assert!(matches!(
+            service.solve(req).unwrap_err(),
+            ServeError::RhsLength { .. }
+        ));
+        // Neither malformed request touched the cache.
+        assert_eq!(service.cache_stats().misses, 0);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.50), 2.0);
+        assert_eq!(percentile(&xs, 0.99), 4.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+}

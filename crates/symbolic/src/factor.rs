@@ -168,6 +168,32 @@ impl SymbolicFactor {
         (self.rowidx[pos], j)
     }
 
+    /// A stable 64-bit fingerprint of the factor structure (dimension,
+    /// column pointers, row indices) — FNV-1a, deterministic across runs
+    /// and platforms. Two symbolic factors with the same fingerprint have
+    /// the same structure, so a cached factor can be pinned against a
+    /// freshly computed one without a full comparison (the serve layer's
+    /// artifact integrity check).
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut fold = |x: u64| {
+            for byte in x.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        fold(self.n as u64);
+        for &p in &self.colptr {
+            fold(p as u64);
+        }
+        for &i in &self.rowidx {
+            fold(i as u64);
+        }
+        h
+    }
+
     /// The factor structure as a [`SymmetricPattern`] (strict lower).
     pub fn to_pattern(&self) -> SymmetricPattern {
         SymmetricPattern::from_parts(self.n, self.colptr.clone(), self.rowidx.clone())
@@ -218,6 +244,16 @@ mod tests {
     /// 4-cycle: A has edges (1,0), (2,0), (3,1), (3,2); eliminating 0
     /// fills (2,1)? No: neighbours of 0 are {1, 2}, so fill (2,1). Then
     /// struct: col0 = {1,2}, col1 = {2,3}, col2 = {3}, col3 = {}.
+    #[test]
+    fn fingerprint_tracks_structure() {
+        let p = gen::lap9(5, 5);
+        let a = SymbolicFactor::from_pattern(&p);
+        let b = SymbolicFactor::from_pattern(&p);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let other = SymbolicFactor::from_pattern(&gen::lap9(5, 6));
+        assert_ne!(a.fingerprint(), other.fingerprint());
+    }
+
     #[test]
     fn factor_of_square_cycle() {
         let p = SymmetricPattern::from_edges(4, [(1, 0), (2, 0), (3, 1), (3, 2)]);

@@ -1,44 +1,63 @@
 #!/usr/bin/env bash
-# Regenerates or gates the tracked benchmark baseline (BENCH_pipeline.json).
-# Run from anywhere. Without a mode flag, all arguments pass through to
-# the bench binary:
+# Regenerates or gates the tracked benchmark baselines
+# (BENCH_pipeline.json, BENCH_serve.json). Run from anywhere. Without a
+# mode flag, all arguments pass through to the pipeline bench binary:
 #
 #   scripts/bench.sh                 # full run, rewrites BENCH_pipeline.json
 #   scripts/bench.sh --smoke         # tiny grid, schema validation only
 #   scripts/bench.sh --out /tmp/b.json
 #   scripts/bench.sh --side 300 --grain 50 --out /tmp/b.json
 #
+# Serve modes drive the solver-service benchmark instead
+# (docs/SERVING.md); remaining arguments pass through to bench_serve:
+#
+#   scripts/bench.sh --serve             # full run, rewrites BENCH_serve.json
+#   scripts/bench.sh --serve --smoke     # tiny trace, schema validation only
+#
 # Gate modes run a fresh full benchmark into a temp file and diff every
 # time-like leaf against the committed baseline with bench_regression,
 # failing on >15% slowdowns or missing leaves:
 #
-#   scripts/bench.sh --gate          # exit 1 on regression
-#   scripts/bench.sh --gate-report   # same diff, never fails the build
+#   scripts/bench.sh --gate                # pipeline baseline, exit 1 on regression
+#   scripts/bench.sh --gate-report         # same diff, never fails the build
+#   scripts/bench.sh --gate-serve          # serve baseline, exit 1 on regression
+#   scripts/bench.sh --gate-serve-report   # same diff, never fails the build
 #
-# Remaining arguments after --gate/--gate-report pass through to the
-# fresh bench run (e.g. `scripts/bench.sh --gate --smoke` for a quick
-# machinery check — expect missing leaves against the full baseline).
+# Remaining arguments after a gate flag pass through to the fresh bench
+# run (e.g. `scripts/bench.sh --gate --smoke` for a quick machinery
+# check — expect missing leaves against the full baseline).
 # See docs/PERFORMANCE.md for how to read the output and
 # docs/OBSERVABILITY.md for the regression-gate workflow.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# gate <bin> <baseline> <report-only?> [passthrough args...]
+gate() {
+  local bin="$1" baseline="$2" report_only="$3"
+  shift 3
+  local fresh
+  fresh="$(mktemp)"
+  trap 'rm -f "$fresh"' EXIT
+  echo "==> fresh $bin run (baseline untouched)"
+  cargo run --release -q -p spfactor-bench --bin "$bin" -- --out "$fresh" "$@"
+  echo "==> diff against $baseline"
+  if [ "$report_only" = "yes" ]; then
+    cargo run --release -q -p spfactor-bench --bin bench_regression -- \
+      --baseline "$baseline" --new "$fresh" --report-only
+  else
+    cargo run --release -q -p spfactor-bench --bin bench_regression -- \
+      --baseline "$baseline" --new "$fresh"
+  fi
+}
+
 case "${1:-}" in
-  --gate|--gate-report)
-    mode="$1"
+  --gate)              shift; gate bench_pipeline BENCH_pipeline.json no  "$@" ;;
+  --gate-report)       shift; gate bench_pipeline BENCH_pipeline.json yes "$@" ;;
+  --gate-serve)        shift; gate bench_serve    BENCH_serve.json    no  "$@" ;;
+  --gate-serve-report) shift; gate bench_serve    BENCH_serve.json    yes "$@" ;;
+  --serve)
     shift
-    fresh="$(mktemp)"
-    trap 'rm -f "$fresh"' EXIT
-    echo "==> fresh benchmark run (baseline untouched)"
-    cargo run --release -q -p spfactor-bench --bin bench_pipeline -- --out "$fresh" "$@"
-    echo "==> diff against BENCH_pipeline.json"
-    if [ "$mode" = "--gate-report" ]; then
-      cargo run --release -q -p spfactor-bench --bin bench_regression -- \
-        --baseline BENCH_pipeline.json --new "$fresh" --report-only
-    else
-      cargo run --release -q -p spfactor-bench --bin bench_regression -- \
-        --baseline BENCH_pipeline.json --new "$fresh"
-    fi
+    exec cargo run --release -q -p spfactor-bench --bin bench_serve -- "$@"
     ;;
   *)
     exec cargo run --release -q -p spfactor-bench --bin bench_pipeline -- "$@"

@@ -73,6 +73,27 @@ for field in '"schema": "spfactor-bench-pipeline/2"' \
 done
 rm -f "$bench_json"
 
+echo "==> serve smoke: schedule cache + bench_serve schema of BENCH_serve.json"
+# The serve integration suite is the cache's executable contract
+# (single-flight, LRU order, bit-identical cached solves, Overloaded).
+cargo test -q -p spfactor --test serve_cache
+serve_json="$(mktemp)"
+scripts/bench.sh --serve --smoke --out "$serve_json" > /dev/null
+for field in '"schema": "spfactor-bench-serve/1"' \
+             '"amortized_speedup"' '"amortized_hit_rate"' \
+             '"cold_ms"' '"amortized_ms"' \
+             '"throughput_rps"' '"hit_rate"' \
+             '"p50_ms"' '"p99_ms"' '"rejected"' \
+             '"schemes"' '"cache_sweep"' '"capacity"'; do
+  grep -qF "$field" "$serve_json" \
+    || { echo "serve bench JSON missing $field"; exit 1; }
+done
+rm -f "$serve_json"
+# The committed serve baseline must self-compare clean through the gate.
+cargo run --release -q -p spfactor-bench --bin bench_regression -- \
+  --baseline BENCH_serve.json --new BENCH_serve.json > /dev/null \
+  || { echo "bench_regression failed a serve self-compare"; exit 1; }
+
 echo "==> timeline smoke: LAP30 traces export, validate, and reconcile"
 # The timeline binary self-checks every export: the virtual-clock
 # timeline must reconcile exactly against the timed report and each

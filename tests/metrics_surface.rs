@@ -461,6 +461,71 @@ mod enabled {
     }
 
     #[test]
+    fn serve_layer_emits_its_documented_surface() {
+        // The documented serve.* surface (docs/METRICS.md): cache
+        // traffic counters mirror the cache's own stats, queue and
+        // latency gauges are published, and builds/solves run under
+        // their spans. The cache-miss build also lands the pipeline's
+        // phase.* spans in the same recorder.
+        use spfactor_serve::{ServeConfig, SolveRequest, SolverService, ValueBatch};
+
+        let rec = Arc::new(Recorder::new());
+        let service = SolverService::start(ServeConfig {
+            cache_capacity: 2,
+            queue_depth: 4,
+            workers: 1,
+            recorder: Some(rec.clone()),
+        });
+        let pattern = spfactor::matrix::gen::lap9(8, 8);
+        let values = spfactor::matrix::gen::spd_from_pattern(&pattern, 5);
+        let rhs = vec![1.0; pattern.n()];
+        let request = SolveRequest::new(pattern)
+            .processors(4)
+            .batch(ValueBatch::new(values).with_rhs(rhs));
+        service.solve(request.clone()).unwrap();
+        service.solve(request.clone()).unwrap();
+        service.submit(request).unwrap().wait().unwrap();
+
+        let stats = service.cache_stats();
+        assert_eq!(rec.counter("serve.cache.hit"), stats.hits);
+        assert_eq!(rec.counter("serve.cache.miss"), stats.misses);
+        assert_eq!((stats.misses, stats.hits), (1, 2));
+        assert_eq!(rec.counter("serve.requests"), 3);
+        assert_eq!(rec.gauge_value("serve.queue.depth"), Some(0.0));
+        for span in ["serve.build", "serve.solve", "phase.order", "phase.sched"] {
+            assert!(
+                rec.span_stats(span).is_some(),
+                "span {span} missing; recorded: {:?}",
+                rec.span_names()
+            );
+        }
+        assert_eq!(rec.span_stats("serve.build").unwrap().count, 1);
+        assert_eq!(rec.span_stats("serve.solve").unwrap().count, 3);
+        for gauge in [
+            "serve.latency.p50_ms",
+            "serve.latency.p90_ms",
+            "serve.latency.p99_ms",
+        ] {
+            assert!(
+                rec.gauge_value(gauge).is_some(),
+                "gauge {gauge} missing; recorded: {:?}",
+                rec.gauge_names()
+            );
+        }
+        // Eviction and rejection counters appear once triggered.
+        let other = SolveRequest::new(spfactor::matrix::gen::lap9(5, 5)).processors(2);
+        let third = SolveRequest::new(spfactor::matrix::gen::lap9(6, 6)).processors(2);
+        service.solve(other).unwrap();
+        service.solve(third).unwrap();
+        assert_eq!(
+            rec.counter("serve.cache.evict"),
+            service.cache_stats().evictions
+        );
+        assert!(service.cache_stats().evictions > 0);
+        assert_eq!(rec.gauge_value("serve.cache.size"), Some(2.0));
+    }
+
+    #[test]
     fn wrap_scheme_records_its_own_branch() {
         let rec = Arc::new(Recorder::new());
         let result = Pipeline::new(spfactor::matrix::gen::lap9(10, 10))

@@ -1,0 +1,303 @@
+//! Integration suite for the `spfactor-serve` layer: the schedule
+//! cache's concurrency contract (hit/miss accounting, single-flight
+//! build deduplication, LRU eviction order), the service's admission
+//! control, and — the load-bearing guarantee — that everything served
+//! out of the cache is **bit-identical** to a fresh, from-scratch
+//! `Pipeline` run on the same inputs. The cache is an amortization, not
+//! an approximation.
+
+use spfactor::matrix::gen;
+use spfactor::matrix::Permutation;
+use spfactor::numeric::solve::SpdSolver;
+use spfactor::{ExecutionBackend, NetworkModel, Ordering, Pipeline, Scheme, SymbolicFactor};
+use spfactor_serve::{
+    ExecutionKernel, ScheduleCache, ServeConfig, ServeError, SolveRequest, SolverService,
+    ValueBatch,
+};
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::{Arc, Barrier, Mutex};
+
+/// Seed the core pipeline synthesizes execution values from; mirrored
+/// here to cross-validate the serve path against `Pipeline::run()`'s
+/// executed factor.
+const EXECUTION_VALUES_SEED: u64 = 42;
+
+fn grid_request(cols: usize, rows: usize, seed: u64) -> SolveRequest {
+    let pattern = gen::lap9(cols, rows);
+    let n = pattern.n();
+    let values = gen::spd_from_pattern(&pattern, seed);
+    let rhs: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.61).cos()).collect();
+    SolveRequest::new(pattern)
+        .processors(4)
+        .batch(ValueBatch::new(values).with_rhs(rhs))
+}
+
+#[test]
+fn hits_and_misses_are_counted_per_key() {
+    let service = SolverService::start(ServeConfig::default());
+    // Two distinct patterns and a parameter variant of the first: three
+    // keys, three misses, then a hit on each.
+    let a = grid_request(6, 6, 1);
+    let b = grid_request(7, 5, 2);
+    let c = a.clone().scheme(Scheme::Wrap);
+    for req in [&a, &b, &c] {
+        let resp = service.solve(req.clone()).unwrap();
+        assert!(!resp.cache_hit, "first request per key must miss");
+    }
+    for req in [&a, &b, &c] {
+        let resp = service.solve(req.clone()).unwrap();
+        assert!(resp.cache_hit, "second request per key must hit");
+    }
+    let stats = service.cache_stats();
+    assert_eq!((stats.misses, stats.hits, stats.waits), (3, 3, 0));
+    assert_eq!(stats.hit_rate(), 0.5);
+    assert_eq!(service.cache().len(), 3);
+}
+
+#[test]
+fn concurrent_misses_on_one_pattern_build_exactly_once() {
+    const THREADS: usize = 8;
+    let cache = Arc::new(ScheduleCache::new(4));
+    let pipeline = Arc::new(Pipeline::new(gen::lap9(10, 10)).processors(4));
+    let builds = Arc::new(AtomicUsize::new(0));
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let fingerprints: Vec<u64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let cache = cache.clone();
+                let pipeline = pipeline.clone();
+                let builds = builds.clone();
+                let barrier = barrier.clone();
+                s.spawn(move || {
+                    // Line every thread up on the same instant so the
+                    // misses genuinely race.
+                    barrier.wait();
+                    cache
+                        .get_or_build(pipeline.key(), || {
+                            builds.fetch_add(1, AtomicOrdering::SeqCst);
+                            pipeline
+                                .try_plan()
+                                .map_err(|e| ServeError::Build(Arc::new(e)))
+                        })
+                        .unwrap()
+                        .fingerprint()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert_eq!(
+        builds.load(AtomicOrdering::SeqCst),
+        1,
+        "single-flight: racing misses must coalesce onto one build"
+    );
+    assert!(
+        fingerprints.iter().all(|&f| f == fingerprints[0]),
+        "every thread must observe the same artifact"
+    );
+    let stats = cache.stats();
+    assert_eq!(stats.misses, 1);
+    assert_eq!(
+        stats.hits + stats.waits,
+        (THREADS - 1) as u64,
+        "the other lookups were hits or coalesced waits"
+    );
+}
+
+#[test]
+fn lru_evicts_least_recently_used_first() {
+    let cache = ScheduleCache::new(2);
+    let a = Pipeline::new(gen::lap9(5, 4)).processors(2);
+    let b = Pipeline::new(gen::lap9(6, 4)).processors(2);
+    let c = Pipeline::new(gen::lap9(7, 4)).processors(2);
+    let build = |p: &Pipeline| {
+        let artifact = p.try_plan().map_err(|e| ServeError::Build(Arc::new(e)));
+        move || artifact
+    };
+    cache.get_or_build(a.key(), build(&a)).unwrap();
+    cache.get_or_build(b.key(), build(&b)).unwrap();
+    // Touch `a`: recency order is now [a, b] with `b` coldest.
+    cache.get_or_build(a.key(), || unreachable!("hit")).unwrap();
+    cache.get_or_build(c.key(), build(&c)).unwrap();
+    assert!(cache.contains(&a.key()), "recently-touched entry survives");
+    assert!(!cache.contains(&b.key()), "coldest entry is evicted");
+    assert!(cache.contains(&c.key()), "new entry is resident");
+    // Overflow again: now `a` (older than `c`) goes.
+    let d = Pipeline::new(gen::lap9(8, 4)).processors(2);
+    cache.get_or_build(d.key(), build(&d)).unwrap();
+    assert!(!cache.contains(&a.key()));
+    assert_eq!(cache.stats().evictions, 2);
+    assert_eq!(cache.snapshot().keys, vec![d.key(), c.key()]);
+}
+
+#[test]
+fn cached_artifact_factors_are_bit_identical_to_fresh_runs() {
+    // The acceptance pin: a factor served through the cache equals a
+    // from-scratch front end + factorization on the same inputs, bit
+    // for bit — and repeated served solves keep returning those bits.
+    let pattern = gen::lap9(9, 9);
+    let a = gen::spd_from_pattern(&pattern, 17);
+    let rhs: Vec<f64> = (0..pattern.n()).map(|i| (i as f64).sin()).collect();
+
+    // Fresh path, no serve involvement: order, symbolic, factor.
+    let perm = spfactor::order::order(&pattern, Ordering::paper_default());
+    let permuted_a = a.permute(&perm);
+    let symbolic = SymbolicFactor::from_pattern(&permuted_a.pattern());
+    let fresh_factor = spfactor::numeric::cholesky(&permuted_a, &symbolic).unwrap();
+    let fresh_solver = SpdSolver::new(&a, Ordering::paper_default()).unwrap();
+    let fresh_x = fresh_solver.solve(&rhs);
+
+    let service = SolverService::start(ServeConfig::default());
+    let request = SolveRequest::new(pattern)
+        .processors(4)
+        .batch(ValueBatch::new(a).with_rhs(rhs));
+    for round in 0..3 {
+        let resp = service.solve(request.clone()).unwrap();
+        assert_eq!(resp.cache_hit, round > 0);
+        assert_eq!(
+            resp.batches[0].factor, fresh_factor,
+            "served factor diverged from the fresh factorization"
+        );
+        assert_eq!(
+            resp.batches[0].solutions[0], fresh_x,
+            "served solution diverged from the fresh solver"
+        );
+    }
+    // All three kernels serve the same bits from the same artifact.
+    for kernel in [
+        ExecutionKernel::BlockParallel,
+        ExecutionKernel::MessagePassing(NetworkModel::default()),
+    ] {
+        let resp = service.solve(request.clone().kernel(kernel)).unwrap();
+        assert!(resp.cache_hit, "kernel choice must not change the key");
+        assert_eq!(resp.batches[0].factor, fresh_factor);
+        assert_eq!(resp.batches[0].solutions[0], fresh_x);
+    }
+}
+
+#[test]
+fn served_factor_matches_pipeline_run_executed_factor() {
+    // Sharper still: `Pipeline::run()` under the message-passing
+    // backend factors values synthesized (seed 42) from the *permuted*
+    // pattern. Feeding the serve layer those same values, expressed in
+    // original coordinates via the inverse permutation, must reproduce
+    // the executed factor bit for bit.
+    let pattern = gen::lap9(8, 8);
+    let pipeline = Pipeline::new(pattern.clone())
+        .processors(4)
+        .backend(ExecutionBackend::MessagePassing(NetworkModel::default()));
+    let fresh = pipeline.clone().run();
+    let executed = fresh.execution.as_ref().expect("mp backend ran");
+
+    let perm = spfactor::order::order(&pattern, Ordering::paper_default());
+    let synthesized = gen::spd_from_pattern(&pattern.permute(&perm), EXECUTION_VALUES_SEED);
+    let inverse = Permutation::from_vec(perm.inverse_slice().to_vec()).unwrap();
+    let values = synthesized.permute(&inverse);
+
+    let service = SolverService::start(ServeConfig::default());
+    let resp = service
+        .solve(
+            SolveRequest::new(pattern)
+                .processors(4)
+                .kernel(ExecutionKernel::MessagePassing(NetworkModel::default()))
+                .batch(ValueBatch::new(values)),
+        )
+        .unwrap();
+    assert_eq!(
+        resp.batches[0].factor, executed.factor,
+        "served mp factor diverged from Pipeline::run()'s executed factor"
+    );
+}
+
+#[test]
+fn queue_overflow_is_rejected_as_overloaded() {
+    // One worker wedged on a slow request, a queue of depth 2: the
+    // third submit beyond the in-flight one must be refused with the
+    // typed overload error, not blocked or dropped.
+    let service = SolverService::start(ServeConfig {
+        cache_capacity: 8,
+        queue_depth: 2,
+        workers: 1,
+        recorder: None,
+    });
+    // Big enough that the worker is still busy while we flood.
+    let slow = grid_request(40, 40, 1);
+    let mut tickets = vec![service.submit(slow).unwrap()];
+    let mut overloaded = 0;
+    // Fill the queue and then some; admission control must kick in.
+    for _ in 0..8 {
+        match service.submit(grid_request(5, 4, 2)) {
+            Ok(t) => tickets.push(t),
+            Err(ServeError::Overloaded { capacity }) => {
+                assert_eq!(capacity, 2);
+                overloaded += 1;
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert!(overloaded > 0, "flooding a depth-2 queue must overload");
+    assert_eq!(service.rejected(), overloaded);
+    // Everything that was admitted completes once the worker drains.
+    for t in tickets {
+        t.wait().unwrap();
+    }
+    assert_eq!(service.queue_depth(), 0);
+}
+
+#[test]
+fn coalesced_concurrent_requests_serve_identical_bits() {
+    // End-to-end single-flight: many clients race the same cold
+    // pattern through the queue; the artifact is built once and every
+    // response carries the same factor bits.
+    const CLIENTS: usize = 6;
+    let service = Arc::new(SolverService::start(ServeConfig {
+        cache_capacity: 4,
+        queue_depth: 64,
+        workers: 4,
+        recorder: None,
+    }));
+    let request = grid_request(12, 12, 3);
+    let factors = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for _ in 0..CLIENTS {
+            let service = service.clone();
+            let request = request.clone();
+            let factors = &factors;
+            s.spawn(move || {
+                let resp = service.submit(request).unwrap().wait().unwrap();
+                factors.lock().unwrap().push(resp.batches[0].factor.clone());
+            });
+        }
+    });
+    let factors = factors.into_inner().unwrap();
+    assert_eq!(factors.len(), CLIENTS);
+    assert!(
+        factors.iter().all(|f| f == &factors[0]),
+        "racing clients observed different factors"
+    );
+    let stats = service.cache_stats();
+    assert_eq!(stats.misses, 1, "the cold pattern must build exactly once");
+    assert_eq!(stats.hits + stats.waits, (CLIENTS - 1) as u64);
+}
+
+#[test]
+fn build_failures_surface_typed_and_do_not_poison_the_key() {
+    let service = SolverService::start(ServeConfig::default());
+    // Zero processors is rejected by pipeline validation inside the
+    // cached build; the error must come back as ServeError::Build.
+    let bad = grid_request(5, 5, 1).processors(0);
+    match service.solve(bad).unwrap_err() {
+        ServeError::Build(e) => {
+            assert!(matches!(
+                *e,
+                spfactor::SpfactorError::InvalidParameter {
+                    param: "processors",
+                    ..
+                }
+            ));
+        }
+        other => panic!("expected Build error, got {other}"),
+    }
+    // The healthy variant of the same pattern still builds fine.
+    service.solve(grid_request(5, 5, 1)).unwrap();
+}
