@@ -5,8 +5,9 @@
 //! Tables 2–3 configuration), the largest of them (CANN1072) again at
 //! the production grain 25, and a large generated
 //! 9-point grid, running the simulate phase under all three
-//! [`SimulateEngine`]s and the deps phase under all three
-//! [`DepsEngine`]s, and writes the results as `BENCH_pipeline.json`. It
+//! [`SimulateEngine`]s, the deps phase under all three
+//! [`DepsEngine`]s and the order phase under both [`OrderEngine`]s, and
+//! writes the results as `BENCH_pipeline.json`. It
 //! also times the AMD ordering against the paper's MMD on every matrix
 //! (`order_alt`), recording the factor sizes each produces. The headline
 //! numbers are the large-grid speedups of the closed-form engines over
@@ -32,10 +33,12 @@ use spfactor::matrix::gen::paper::{self, TestMatrix};
 use spfactor::partition::{build_dependencies, DepsEngine};
 use spfactor::sched::block_allocation;
 use spfactor::simulate::{simulate, SimulateEngine};
-use spfactor::{Ordering, Partition, PartitionParams, SymbolicFactor};
+use spfactor::{OrderEngine, Ordering, Partition, PartitionParams, SymbolicFactor};
 
 /// Schema identifier validated by `scripts/bench.sh --smoke`.
-const SCHEMA: &str = "spfactor-bench-pipeline/2";
+const SCHEMA: &str = "spfactor-bench-pipeline/3";
+
+const ORDER_ENGINES: [OrderEngine; 2] = [OrderEngine::Direct, OrderEngine::Compressed];
 
 const ENGINES: [SimulateEngine; 3] = [
     SimulateEngine::Element,
@@ -55,6 +58,7 @@ struct MatrixResult {
     factor_entries: usize,
     nprocs: usize,
     phases_ms: [(&'static str, f64); 5],
+    order_ms: Vec<(&'static str, f64)>,
     deps_ms: Vec<(&'static str, f64)>,
     simulate_ms: Vec<(&'static str, f64)>,
     order_alt: OrderAlt,
@@ -62,6 +66,7 @@ struct MatrixResult {
     work_total: usize,
     speedup_block_parallel: f64,
     speedup_deps_sweep_parallel: f64,
+    speedup_order_compressed: f64,
 }
 
 /// AMD-vs-MMD comparison: wall time and the factor size each ordering
@@ -97,9 +102,20 @@ fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, f64) {
 fn bench_matrix(m: &TestMatrix, label: &str, nprocs: usize, grain: usize) -> MatrixResult {
     let reps = if m.pattern.n() <= 2_000 { 3 } else { 1 };
 
-    let (perm, order_ms) = best_of(reps, || {
-        spfactor::order::order(&m.pattern, Ordering::paper_default())
-    });
+    // MMD under both ordering engines; the compressed engine must stay
+    // within 5% of the direct factor size (it is bit-identical on
+    // incompressible graphs, and at worst regime-equivalent elsewhere).
+    let mut order_ms = Vec::new();
+    let mut perms = Vec::new();
+    for engine in ORDER_ENGINES {
+        let (p, best) = best_of(reps, || {
+            spfactor::order::order_with_engine(&m.pattern, Ordering::paper_default(), engine)
+        });
+        order_ms.push((engine.name(), best));
+        perms.push(p);
+    }
+    let compressed_perm = perms.pop().expect("two permutations");
+    let perm = perms.pop().expect("two permutations");
     // AMD next to MMD: same interface, cheaper degree maintenance; record
     // the fill each produces so the speed/quality trade-off is tracked.
     let (amd_perm, amd_ms) = best_of(reps, || {
@@ -107,10 +123,21 @@ fn bench_matrix(m: &TestMatrix, label: &str, nprocs: usize, grain: usize) -> Mat
     });
     let permuted = m.pattern.permute(&perm);
     let (factor, symbolic_ms) = time_ms(|| SymbolicFactor::from_pattern(&permuted));
+    let compressed_entries =
+        SymbolicFactor::from_pattern(&m.pattern.permute(&compressed_perm)).num_entries();
+    let delta = (compressed_entries as f64 - factor.num_entries() as f64).abs()
+        / factor.num_entries() as f64;
+    assert!(
+        delta <= 0.05,
+        "{label}: compressed-engine factor entries {compressed_entries} deviate {:.1}% \
+         from direct {}",
+        delta * 100.0,
+        factor.num_entries()
+    );
     let amd_factor_entries =
         SymbolicFactor::from_pattern(&m.pattern.permute(&amd_perm)).num_entries();
     let order_alt = OrderAlt {
-        mmd_ms: order_ms,
+        mmd_ms: order_ms[0].1,
         amd_ms,
         mmd_factor_entries: factor.num_entries(),
         amd_factor_entries,
@@ -157,7 +184,9 @@ fn bench_matrix(m: &TestMatrix, label: &str, nprocs: usize, grain: usize) -> Mat
         factor_entries: factor.num_entries(),
         nprocs,
         phases_ms: [
-            ("order", order_ms),
+            // Continuity with schema /2: the phase column stays the
+            // direct engine; per-engine timings live in order_ms.
+            ("order", order_ms[0].1),
             ("symbolic", symbolic_ms),
             ("partition", partition_ms),
             // Continuity with schema /1: the phase column stays the
@@ -166,6 +195,8 @@ fn bench_matrix(m: &TestMatrix, label: &str, nprocs: usize, grain: usize) -> Mat
             ("sched", sched_ms),
         ],
         speedup_deps_sweep_parallel: speedup(deps_ms[0].1, deps_ms[2].1),
+        speedup_order_compressed: speedup(order_ms[0].1, order_ms[1].1),
+        order_ms,
         deps_ms,
         order_alt,
         traffic_total: traffic.total,
@@ -189,12 +220,18 @@ fn json_document(mode: &str, large_grid: &str, results: &[MatrixResult]) -> Stri
     let large = results.iter().find(|r| r.name == large_grid);
     let large_speedup = large.map(|r| r.speedup_block_parallel).unwrap_or(0.0);
     let large_deps_speedup = large.map(|r| r.speedup_deps_sweep_parallel).unwrap_or(0.0);
+    let large_order_speedup = large.map(|r| r.speedup_order_compressed).unwrap_or(0.0);
     writeln!(s, "{{").unwrap();
     writeln!(s, "  \"schema\": \"{SCHEMA}\",").unwrap();
     writeln!(s, "  \"mode\": \"{mode}\",").unwrap();
     writeln!(s, "  \"large_grid\": \"{large_grid}\",").unwrap();
     writeln!(s, "  \"large_grid_speedup\": {large_speedup:.2},").unwrap();
     writeln!(s, "  \"large_grid_deps_speedup\": {large_deps_speedup:.2},").unwrap();
+    writeln!(
+        s,
+        "  \"large_grid_order_speedup\": {large_order_speedup:.2},"
+    )
+    .unwrap();
     writeln!(s, "  \"matrices\": [").unwrap();
     for (i, r) in results.iter().enumerate() {
         writeln!(s, "    {{").unwrap();
@@ -209,6 +246,7 @@ fn json_document(mode: &str, large_grid: &str, results: &[MatrixResult]) -> Stri
             writeln!(s, "        \"{name}\": {ms:.3}{comma}").unwrap();
         }
         writeln!(s, "      }},").unwrap();
+        write_ms_object(&mut s, "order_ms", &r.order_ms);
         write_ms_object(&mut s, "deps_ms", &r.deps_ms);
         write_ms_object(&mut s, "simulate_ms", &r.simulate_ms);
         writeln!(s, "      \"order_alt\": {{").unwrap();
@@ -229,6 +267,12 @@ fn json_document(mode: &str, large_grid: &str, results: &[MatrixResult]) -> Stri
         writeln!(s, "      }},").unwrap();
         writeln!(s, "      \"traffic_total\": {},", r.traffic_total).unwrap();
         writeln!(s, "      \"work_total\": {},", r.work_total).unwrap();
+        writeln!(
+            s,
+            "      \"speedup_order_compressed_over_direct\": {:.2},",
+            r.speedup_order_compressed
+        )
+        .unwrap();
         writeln!(
             s,
             "      \"speedup_deps_sweep_parallel_over_element\": {:.2},",
@@ -317,6 +361,16 @@ fn main() {
     std::fs::write(&out_path, &doc).expect("write bench JSON");
 
     for r in &results {
+        let ord: String = r
+            .order_ms
+            .iter()
+            .map(|(n, ms)| format!("{n} {ms:.2}ms"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        println!(
+            "{:>10}  n={:<7} order: {}  (speedup {:.1}x)",
+            r.name, r.n, ord, r.speedup_order_compressed
+        );
         let sim: String = r
             .simulate_ms
             .iter()
@@ -330,8 +384,8 @@ fn main() {
             .collect::<Vec<_>>()
             .join(", ");
         println!(
-            "{:>10}  n={:<7} deps: {}  (speedup {:.1}x)",
-            r.name, r.n, dep, r.speedup_deps_sweep_parallel
+            "{:>10}  {:<9} deps: {}  (speedup {:.1}x)",
+            "", "", dep, r.speedup_deps_sweep_parallel
         );
         println!(
             "{:>10}  {:<9} simulate: {}  (speedup {:.1}x)",

@@ -1,0 +1,192 @@
+//! Million-column scale baseline — memory and time across grid sizes.
+//!
+//! Runs the full analytic pipeline on `lap_grid` problems from 10^4 up
+//! to 10^6 columns under the production engine configuration
+//! ([`OrderEngine::Compressed`], [`DepsEngine::SweepParallel`],
+//! [`SimulateEngine::BlockParallel`], grain 25, 16 processors) and
+//! writes `BENCH_scale.json`: per size, the column count, factor
+//! entries, end-to-end wall time, per-phase milliseconds and — because
+//! this binary installs [`spfactor::trace::alloc::TrackingAllocator`]
+//! as its global allocator — the per-phase heap high-water marks the
+//! pipeline publishes as `phase.*.peak_bytes` gauges.
+//!
+//! ```text
+//! cargo run --release -p spfactor-bench --bin bench_scale
+//! cargo run --release -p spfactor-bench --bin bench_scale -- --smoke
+//! cargo run --release -p spfactor-bench --bin bench_scale -- --sides 100,300
+//! cargo run --release -p spfactor-bench --bin bench_scale -- --out /tmp/s.json
+//! ```
+//!
+//! `--smoke` runs one tiny grid so CI can validate the JSON schema in a
+//! fraction of a second; the schema is identical to the full run, and
+//! both modes fail if any phase's peak-bytes gauge comes back
+//! unpopulated — a committed baseline always witnesses that the
+//! allocator plumbing works.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use spfactor::trace::alloc::TrackingAllocator;
+use spfactor::{DepsEngine, OrderEngine, Pipeline, Recorder, SimulateEngine};
+
+#[global_allocator]
+static ALLOC: TrackingAllocator = TrackingAllocator::new();
+
+/// Schema identifier validated by `scripts/verify.sh`.
+const SCHEMA: &str = "spfactor-bench-scale/1";
+
+/// The spans the pipeline brackets with `phase.*.peak_bytes` gauges.
+const PHASES: [&str; 5] = ["order", "symbolic", "partition", "sched", "simulate"];
+
+/// Grid sides for the full sweep: n = side^2 columns, 10^4 → 10^6.
+const FULL_SIDES: [usize; 5] = [100, 200, 400, 700, 1000];
+
+/// Production-style configuration (matches the repo's large-grid rows
+/// in `BENCH_pipeline.json`).
+const GRAIN: usize = 25;
+const NPROCS: usize = 16;
+
+struct SizeResult {
+    side: usize,
+    n: usize,
+    factor_entries: usize,
+    total_ms: f64,
+    phases_ms: Vec<(&'static str, f64)>,
+    peak_bytes: Vec<(&'static str, u64)>,
+}
+
+fn bench_side(side: usize) -> SizeResult {
+    let m = spfactor::matrix::gen::paper::lap_grid(side);
+    let rec = Arc::new(Recorder::new());
+    let pipeline = Pipeline::new(m.pattern)
+        .grain(GRAIN)
+        .processors(NPROCS)
+        .order_engine(OrderEngine::Compressed)
+        .deps_engine(DepsEngine::SweepParallel)
+        .engine(SimulateEngine::BlockParallel)
+        .with_recorder(rec.clone());
+    let t = Instant::now();
+    let result = pipeline.run();
+    let total_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let mut phases_ms = Vec::new();
+    let mut peak_bytes = Vec::new();
+    for phase in PHASES {
+        let stats = rec
+            .span_stats(&format!("phase.{phase}"))
+            .unwrap_or_else(|| panic!("phase.{phase} span missing"));
+        phases_ms.push((phase, stats.total_ns as f64 / 1e6));
+        let peak = rec
+            .gauge_value(&format!("phase.{phase}.peak_bytes"))
+            .unwrap_or_else(|| panic!("phase.{phase}.peak_bytes gauge missing"));
+        assert!(peak > 0.0, "phase.{phase}.peak_bytes not populated");
+        peak_bytes.push((phase, peak as u64));
+    }
+    SizeResult {
+        side,
+        n: result.factor.n(),
+        factor_entries: result.factor.num_entries(),
+        total_ms,
+        phases_ms,
+        peak_bytes,
+    }
+}
+
+fn json_document(mode: &str, results: &[SizeResult]) -> String {
+    let max_n = results.iter().map(|r| r.n).max().unwrap_or(0);
+    let max_peak = results
+        .iter()
+        .flat_map(|r| r.peak_bytes.iter().map(|&(_, b)| b))
+        .max()
+        .unwrap_or(0);
+    let mut s = String::new();
+    writeln!(s, "{{").unwrap();
+    writeln!(s, "  \"schema\": \"{SCHEMA}\",").unwrap();
+    writeln!(s, "  \"mode\": \"{mode}\",").unwrap();
+    writeln!(s, "  \"order_engine\": \"compressed\",").unwrap();
+    writeln!(s, "  \"deps_engine\": \"sweep_parallel\",").unwrap();
+    writeln!(s, "  \"simulate_engine\": \"block_parallel\",").unwrap();
+    writeln!(s, "  \"grain\": {GRAIN},").unwrap();
+    writeln!(s, "  \"nprocs\": {NPROCS},").unwrap();
+    writeln!(s, "  \"max_n\": {max_n},").unwrap();
+    writeln!(s, "  \"max_peak_bytes\": {max_peak},").unwrap();
+    writeln!(s, "  \"sizes\": [").unwrap();
+    for (i, r) in results.iter().enumerate() {
+        writeln!(s, "    {{").unwrap();
+        writeln!(s, "      \"side\": {},", r.side).unwrap();
+        writeln!(s, "      \"n\": {},", r.n).unwrap();
+        writeln!(s, "      \"factor_entries\": {},", r.factor_entries).unwrap();
+        writeln!(s, "      \"total_ms\": {:.3},", r.total_ms).unwrap();
+        writeln!(s, "      \"phases_ms\": {{").unwrap();
+        for (j, (name, ms)) in r.phases_ms.iter().enumerate() {
+            let comma = if j + 1 < r.phases_ms.len() { "," } else { "" };
+            writeln!(s, "        \"{name}\": {ms:.3}{comma}").unwrap();
+        }
+        writeln!(s, "      }},").unwrap();
+        writeln!(s, "      \"peak_bytes\": {{").unwrap();
+        for (j, (name, b)) in r.peak_bytes.iter().enumerate() {
+            let comma = if j + 1 < r.peak_bytes.len() { "," } else { "" };
+            writeln!(s, "        \"{name}\": {b}{comma}").unwrap();
+        }
+        writeln!(s, "      }}").unwrap();
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        writeln!(s, "    }}{comma}").unwrap();
+    }
+    writeln!(s, "  ]").unwrap();
+    writeln!(s, "}}").unwrap();
+    s
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_scale.json".to_string());
+    let sides: Vec<usize> = if smoke {
+        vec![40]
+    } else if let Some(list) = args
+        .iter()
+        .position(|a| a == "--sides")
+        .and_then(|i| args.get(i + 1))
+    {
+        list.split(',')
+            .map(|t| t.trim().parse().expect("--sides takes e.g. 100,300,1000"))
+            .collect()
+    } else {
+        FULL_SIDES.to_vec()
+    };
+
+    let mut results = Vec::new();
+    for &side in &sides {
+        eprintln!("benchmarking lap_grid({side}) (n = {})...", side * side);
+        let r = bench_side(side);
+        eprintln!(
+            "  n={:<8} total {:.0} ms, phases: {}",
+            r.n,
+            r.total_ms,
+            r.phases_ms
+                .iter()
+                .map(|(p, ms)| format!("{p} {ms:.0}ms"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        eprintln!(
+            "  peak heap: {}",
+            r.peak_bytes
+                .iter()
+                .map(|(p, b)| format!("{p} {:.1}MB", *b as f64 / 1e6))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        results.push(r);
+    }
+
+    let mode = if smoke { "smoke" } else { "full" };
+    let doc = json_document(mode, &results);
+    std::fs::write(&out_path, &doc).expect("write bench JSON");
+    println!("wrote {out_path}");
+}

@@ -70,7 +70,7 @@ use std::sync::Arc;
 pub use spfactor_matrix::{MatrixError, Permutation, SymmetricPattern};
 pub use spfactor_mp::{FaultPlan, MpError, MpReport, NetworkModel};
 pub use spfactor_numeric::NumericError;
-pub use spfactor_order::Ordering;
+pub use spfactor_order::{OrderEngine, Ordering};
 pub use spfactor_partition::{DepGraph, DepsEngine, Partition, PartitionParams};
 pub use spfactor_sched::{Assignment, ScheduleArtifact, ScheduleKey};
 pub use spfactor_simulate::{SimulateEngine, TrafficReport, WorkReport};
@@ -185,6 +185,28 @@ const EXECUTION_VALUES_SEED: u64 = 42;
 /// Bottleneck units kept in the pipeline's critical-path report.
 const TIMELINE_TOP_K: usize = 10;
 
+/// Brackets one pipeline phase with the heap high-water mark: resets
+/// the tracking allocator's peak before the phase and publishes a
+/// `phase.<name>.peak_bytes` gauge after it. A no-op unless the running
+/// binary installed [`trace::alloc::TrackingAllocator`] as its global
+/// allocator (see `docs/METRICS.md`).
+fn phase_peak<T>(rec: Option<&Recorder>, name: &str, f: impl FnOnce() -> T) -> T {
+    let track = rec.is_some() && trace::alloc::installed();
+    if track {
+        trace::alloc::reset_peak();
+    }
+    let out = f();
+    if track {
+        if let Some(r) = rec {
+            r.gauge(
+                &format!("phase.{name}.peak_bytes"),
+                trace::alloc::peak_bytes() as f64,
+            );
+        }
+    }
+    out
+}
+
 /// Timelines captured when the pipeline runs with
 /// [`Pipeline::timeline`]`(true)`.
 #[derive(Clone, Debug)]
@@ -208,6 +230,7 @@ pub struct TimelineCapture {
 pub struct Pipeline {
     pattern: SymmetricPattern,
     ordering: Ordering,
+    order_engine: OrderEngine,
     params: PartitionParams,
     scheme: Scheme,
     nprocs: usize,
@@ -227,6 +250,7 @@ impl Pipeline {
         Pipeline {
             pattern,
             ordering: Ordering::paper_default(),
+            order_engine: OrderEngine::Direct,
             params: PartitionParams::default(),
             scheme: Scheme::Block,
             nprocs: 4,
@@ -369,6 +393,34 @@ impl Pipeline {
     /// ```
     pub fn deps_engine(mut self, e: DepsEngine) -> Self {
         self.deps_engine = e;
+        self
+    }
+
+    /// Selects the ordering engine (default: [`OrderEngine::Direct`],
+    /// which runs the ordering on the original graph).
+    /// [`OrderEngine::Compressed`] first merges indistinguishable
+    /// columns into supervariables and runs weighted minimum degree on
+    /// the compressed quotient graph — much faster on large problems,
+    /// and bit-identical to `Direct` when nothing compresses — see
+    /// `docs/PERFORMANCE.md`. The engine is part of the schedule cache
+    /// identity ([`ScheduleKey`]).
+    ///
+    /// ```
+    /// use spfactor::{OrderEngine, Pipeline};
+    ///
+    /// let p = spfactor::matrix::gen::lap9(8, 8);
+    /// let slow = Pipeline::new(p.clone()).processors(4).run();
+    /// let fast = Pipeline::new(p)
+    ///     .processors(4)
+    ///     .order_engine(OrderEngine::Compressed)
+    ///     .run();
+    /// // lap9 grids have no indistinguishable columns, so the engines
+    /// // produce the same permutation and identical reports.
+    /// assert_eq!(slow.traffic, fast.traffic);
+    /// assert_eq!(slow.work, fast.work);
+    /// ```
+    pub fn order_engine(mut self, e: OrderEngine) -> Self {
+        self.order_engine = e;
         self
     }
 
@@ -537,24 +589,24 @@ impl Pipeline {
         self.validate()?;
         let rec = self.recorder.as_deref();
 
-        let perm = match rec {
+        let perm = phase_peak(rec, "order", || match rec {
             Some(r) => {
                 let _phase = r.span("phase.order");
-                order::order_traced(&self.pattern, self.ordering, r)
+                order::order_with_engine_traced(&self.pattern, self.ordering, self.order_engine, r)
             }
-            None => order::order(&self.pattern, self.ordering),
-        };
+            None => order::order_with_engine(&self.pattern, self.ordering, self.order_engine),
+        });
         let permuted = self.pattern.permute(&perm);
 
-        let factor = match rec {
+        let factor = phase_peak(rec, "symbolic", || match rec {
             Some(r) => {
                 let _phase = r.span("phase.symbolic");
                 SymbolicFactor::from_pattern_traced(&permuted, r)
             }
             None => SymbolicFactor::from_pattern(&permuted),
-        };
+        });
 
-        let (partition, deps) = {
+        let (partition, deps) = phase_peak(rec, "partition", || {
             let _phase = rec.map(|r| r.span("phase.partition"));
             let partition = match (self.scheme, rec) {
                 (Scheme::Block, Some(r)) => Partition::build_traced(&factor, &self.params, r),
@@ -573,9 +625,9 @@ impl Pipeline {
                 None => partition::build_dependencies(self.deps_engine, &factor, &partition),
             };
             (partition, deps)
-        };
+        });
 
-        let assignment = {
+        let assignment = phase_peak(rec, "sched", || {
             let _phase = rec.map(|r| r.span("phase.sched"));
             match (self.scheme, rec) {
                 (Scheme::Block, Some(r)) => {
@@ -587,7 +639,7 @@ impl Pipeline {
                 }
                 (Scheme::Wrap, None) => sched::wrap_allocation(&partition, self.nprocs),
             }
-        };
+        });
 
         Ok(ScheduleArtifact::new(
             self.key(),
@@ -612,6 +664,7 @@ impl Pipeline {
         ScheduleKey::new(
             &self.pattern,
             self.ordering,
+            self.order_engine,
             self.params,
             self.scheme,
             self.nprocs,
@@ -668,13 +721,13 @@ impl Pipeline {
             artifact.assignment(),
         );
 
-        let (traffic, work) = {
+        let (traffic, work) = phase_peak(rec, "simulate", || {
             let _phase = rec.map(|r| r.span("phase.simulate"));
             match rec {
                 Some(r) => simulate::simulate_traced(self.engine, factor, partition, assignment, r),
                 None => simulate::simulate(self.engine, factor, partition, assignment),
             }
-        };
+        });
 
         // Virtual-clock timeline: re-run the schedule through the timed
         // simulator with a sink attached and analyze the event DAG.

@@ -36,11 +36,14 @@
 //! counter and its cost under the `order.compute` span (see
 //! `docs/METRICS.md`).
 
+pub mod compress;
 pub mod etree;
 pub mod mf;
 pub mod mmd;
 pub mod nested;
 pub mod rcm;
+
+pub use compress::GraphCompression;
 
 use spfactor_matrix::{Permutation, SymmetricPattern};
 use spfactor_trace::Recorder;
@@ -88,6 +91,38 @@ impl Ordering {
     }
 }
 
+/// Execution strategy for the minimum-degree family, selected on the
+/// pipeline like `SimulateEngine` and `DepsEngine`: same fill regime,
+/// different cost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum OrderEngine {
+    /// The per-variable oracle in [`mmd`]: exact, simple, and the
+    /// reference every other engine is validated against.
+    #[default]
+    Direct,
+    /// Compressed-graph engine ([`compress`]): collapses
+    /// indistinguishable nodes into weighted supervariables up front,
+    /// orders the quotient graph with a degree-bucketed driver (no
+    /// per-pass full scans, no allocation on the degree-update path),
+    /// and expands the permutation back. Applies to
+    /// [`Ordering::MultipleMinimumDegree`] and
+    /// [`Ordering::ApproximateMinimumDegree`]; every other method has no
+    /// quotient-graph formulation here and falls back to the direct
+    /// algorithm unchanged.
+    Compressed,
+}
+
+impl OrderEngine {
+    /// Stable lowercase name used in metrics (`order.engine.<name>`),
+    /// schedule-artifact headers, and the bench JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OrderEngine::Direct => "direct",
+            OrderEngine::Compressed => "compressed",
+        }
+    }
+}
+
 /// Computes the permutation for `pattern` under the selected method.
 /// `perm[new] = old` as everywhere in the workspace.
 pub fn order(pattern: &SymmetricPattern, method: Ordering) -> Permutation {
@@ -125,17 +160,75 @@ pub fn order_traced(
     method: Ordering,
     recorder: &Recorder,
 ) -> Permutation {
+    order_with_engine_traced(pattern, method, OrderEngine::Direct, recorder)
+}
+
+/// [`order`] under an explicit [`OrderEngine`]. `Direct` is exactly
+/// [`order`]; `Compressed` routes the minimum-degree methods through
+/// [`compress`] and falls back to the direct algorithm for everything
+/// else.
+pub fn order_with_engine(
+    pattern: &SymmetricPattern,
+    method: Ordering,
+    engine: OrderEngine,
+) -> Permutation {
+    match (engine, method) {
+        (OrderEngine::Compressed, Ordering::MultipleMinimumDegree { delta }) => {
+            compress::compressed_min_degree(pattern, delta, false).0
+        }
+        (OrderEngine::Compressed, Ordering::ApproximateMinimumDegree) => {
+            compress::compressed_min_degree(pattern, 0, true).0
+        }
+        _ => order(pattern, method),
+    }
+}
+
+/// [`order_with_engine`] with instrumentation: the `order.compute` span,
+/// the `order.alg.<name>` and `order.engine.<name>` counters, the
+/// `order.mmd.*` work counters for the minimum-degree family, and — on
+/// the compressed engine — the `order.compress.{original,nodes,ratio}`
+/// gauges (see `docs/METRICS.md`).
+pub fn order_with_engine_traced(
+    pattern: &SymmetricPattern,
+    method: Ordering,
+    engine: OrderEngine,
+    recorder: &Recorder,
+) -> Permutation {
     let _span = recorder.span("order.compute");
     recorder.incr(&format!("order.alg.{}", method.name()), 1);
-    match method {
-        Ordering::MultipleMinimumDegree { delta } => {
+    recorder.incr(&format!("order.engine.{}", engine.name()), 1);
+    match (engine, method) {
+        (OrderEngine::Compressed, Ordering::MultipleMinimumDegree { delta }) => {
+            compressed_traced(pattern, delta, false, recorder)
+        }
+        (OrderEngine::Compressed, Ordering::ApproximateMinimumDegree) => {
+            compressed_traced(pattern, 0, true, recorder)
+        }
+        (_, Ordering::MultipleMinimumDegree { delta }) => {
             mmd::multiple_minimum_degree_traced(pattern, delta, recorder)
         }
-        Ordering::ApproximateMinimumDegree => {
+        (_, Ordering::ApproximateMinimumDegree) => {
             mmd::approximate_minimum_degree_traced(pattern, recorder)
         }
-        other => order(pattern, other),
+        (_, other) => order(pattern, other),
     }
+}
+
+fn compressed_traced(
+    pattern: &SymmetricPattern,
+    delta: usize,
+    approx: bool,
+    recorder: &Recorder,
+) -> Permutation {
+    let (perm, gc, counters) = compress::compressed_min_degree(pattern, delta, approx);
+    recorder.gauge("order.compress.original", gc.n_original() as f64);
+    recorder.gauge("order.compress.nodes", gc.n_compressed() as f64);
+    recorder.gauge("order.compress.ratio", gc.ratio());
+    recorder.incr("order.mmd.passes", counters.passes);
+    recorder.incr("order.mmd.eliminations", counters.eliminations);
+    recorder.incr("order.mmd.degree_updates", counters.degree_updates);
+    recorder.incr("order.mmd.supervariable_merges", counters.merges);
+    perm
 }
 
 #[cfg(test)]

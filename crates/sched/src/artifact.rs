@@ -27,7 +27,7 @@
 use crate::export::{read_schedule, write_schedule, ScheduleDump};
 use crate::Assignment;
 use spfactor_matrix::{Permutation, SymmetricPattern};
-use spfactor_order::Ordering;
+use spfactor_order::{OrderEngine, Ordering};
 use spfactor_partition::{DepGraph, Partition, PartitionParams};
 use spfactor_symbolic::SymbolicFactor;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -68,6 +68,12 @@ pub struct ScheduleKey {
     pub n: usize,
     /// The fill-reducing ordering algorithm.
     pub ordering: Ordering,
+    /// The ordering execution engine. Part of the key because engines
+    /// are only fill-equivalent, not permutation-equivalent: where graph
+    /// compression fires, `Compressed` produces a different (equally
+    /// good) permutation, and a cache must never serve a schedule
+    /// planned under one engine to a request for the other.
+    pub order_engine: OrderEngine,
     /// The partitioner parameters (grains, minimum cluster width, zero
     /// relaxation).
     pub params: PartitionParams,
@@ -83,6 +89,7 @@ impl ScheduleKey {
     pub fn new(
         pattern: &SymmetricPattern,
         ordering: Ordering,
+        order_engine: OrderEngine,
         params: PartitionParams,
         scheme: Scheme,
         nprocs: usize,
@@ -91,6 +98,7 @@ impl ScheduleKey {
             structural_hash: pattern.structural_hash(),
             n: pattern.n(),
             ordering,
+            order_engine,
             params,
             scheme,
             nprocs,
@@ -217,10 +225,11 @@ impl ScheduleArtifact {
         writeln!(w, "spfactor-artifact v1")?;
         writeln!(
             w,
-            "key hash {:016x} n {} ordering {:?} grain {} {} width {} relax {} scheme {} procs {}",
+            "key hash {:016x} n {} ordering {:?} engine {} grain {} {} width {} relax {} scheme {} procs {}",
             self.key.structural_hash,
             self.key.n,
             self.key.ordering,
+            self.key.order_engine.name(),
             self.key.params.grain_triangle,
             self.key.params.grain_rectangle,
             self.key.params.min_cluster_width,
@@ -314,7 +323,7 @@ mod tests {
     use super::*;
     use crate::{block_allocation, wrap_allocation};
     use spfactor_matrix::gen;
-    use spfactor_order::{order, Ordering};
+    use spfactor_order::{order, OrderEngine, Ordering};
     use spfactor_partition::dependencies;
 
     fn build(pattern: &SymmetricPattern, scheme: Scheme, nprocs: usize) -> ScheduleArtifact {
@@ -336,7 +345,14 @@ mod tests {
             }
         };
         let deps = dependencies(&factor, &partition);
-        let key = ScheduleKey::new(pattern, ordering, params, scheme, nprocs);
+        let key = ScheduleKey::new(
+            pattern,
+            ordering,
+            OrderEngine::Direct,
+            params,
+            scheme,
+            nprocs,
+        );
         ScheduleArtifact::new(key, perm, factor, partition, deps, assignment)
     }
 
@@ -347,6 +363,7 @@ mod tests {
         let base = ScheduleKey::new(
             &p,
             Ordering::paper_default(),
+            OrderEngine::Direct,
             PartitionParams::default(),
             Scheme::Block,
             4,
@@ -354,6 +371,7 @@ mod tests {
         let same = ScheduleKey::new(
             &p,
             Ordering::paper_default(),
+            OrderEngine::Direct,
             PartitionParams::default(),
             Scheme::Block,
             4,
@@ -363,6 +381,7 @@ mod tests {
             ScheduleKey::new(
                 &q,
                 Ordering::paper_default(),
+                OrderEngine::Direct,
                 PartitionParams::default(),
                 Scheme::Block,
                 4,
@@ -370,6 +389,7 @@ mod tests {
             ScheduleKey::new(
                 &p,
                 Ordering::ReverseCuthillMcKee,
+                OrderEngine::Direct,
                 PartitionParams::default(),
                 Scheme::Block,
                 4,
@@ -377,6 +397,15 @@ mod tests {
             ScheduleKey::new(
                 &p,
                 Ordering::paper_default(),
+                OrderEngine::Compressed,
+                PartitionParams::default(),
+                Scheme::Block,
+                4,
+            ),
+            ScheduleKey::new(
+                &p,
+                Ordering::paper_default(),
+                OrderEngine::Direct,
                 PartitionParams::with_grain(25),
                 Scheme::Block,
                 4,
@@ -384,6 +413,7 @@ mod tests {
             ScheduleKey::new(
                 &p,
                 Ordering::paper_default(),
+                OrderEngine::Direct,
                 PartitionParams::default(),
                 Scheme::Wrap,
                 4,
@@ -391,6 +421,7 @@ mod tests {
             ScheduleKey::new(
                 &p,
                 Ordering::paper_default(),
+                OrderEngine::Direct,
                 PartitionParams::default(),
                 Scheme::Block,
                 8,

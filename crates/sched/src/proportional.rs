@@ -47,7 +47,7 @@ pub fn proportional_allocation(
     for j in 0..n {
         // Children have smaller indices than parents in an etree, so a
         // single ascending pass accumulates correctly.
-        for &c in &children[j] {
+        for &c in children.of(j) {
             subtree[j] += subtree[c];
         }
     }
@@ -66,9 +66,9 @@ pub fn proportional_allocation(
     let target = SPLIT_FACTOR * nprocs;
     while heap.len() + leaves.len() < target {
         match heap.pop() {
-            Some((_w, r)) if !children[r].is_empty() => {
+            Some((_w, r)) if !children.of(r).is_empty() => {
                 separators.push(r);
-                for &c in &children[r] {
+                for &c in children.of(r) {
                     heap.push((subtree[c], c));
                 }
             }
@@ -89,7 +89,7 @@ pub fn proportional_allocation(
         stack.push(root);
         while let Some(v) = stack.pop() {
             col_proc[v] = p as u32;
-            stack.extend(children[v].iter().copied());
+            stack.extend(children.of(v).iter().copied());
         }
     }
     // Separator columns bottom-up (ascending index ≈ bottom-up in the

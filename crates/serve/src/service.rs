@@ -28,7 +28,9 @@ use crate::ServeError;
 use spfactor::matrix::{SymmetricCsc, SymmetricPattern};
 use spfactor::numeric::NumericFactor;
 use spfactor::sched::{ScheduleArtifact, ScheduleKey, Scheme};
-use spfactor::{mp, numeric, NetworkModel, Ordering, PartitionParams, Pipeline, Recorder};
+use spfactor::{
+    mp, numeric, NetworkModel, OrderEngine, Ordering, PartitionParams, Pipeline, Recorder,
+};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::{mpsc, Arc, Mutex};
@@ -114,6 +116,9 @@ pub struct SolveRequest {
     pub pattern: SymmetricPattern,
     /// Ordering algorithm (part of the cache key).
     pub ordering: Ordering,
+    /// Ordering engine (part of the cache key: a schedule planned under
+    /// one engine must never be served to a request for another).
+    pub order_engine: OrderEngine,
     /// Partitioning parameters (part of the cache key).
     pub params: PartitionParams,
     /// Block or wrap mapping (part of the cache key).
@@ -133,6 +138,7 @@ impl SolveRequest {
         SolveRequest {
             pattern,
             ordering: Ordering::paper_default(),
+            order_engine: OrderEngine::Direct,
             params: PartitionParams::default(),
             scheme: Scheme::Block,
             nprocs: 4,
@@ -144,6 +150,12 @@ impl SolveRequest {
     /// Sets the ordering algorithm.
     pub fn ordering(mut self, o: Ordering) -> Self {
         self.ordering = o;
+        self
+    }
+
+    /// Sets the ordering engine.
+    pub fn order_engine(mut self, e: OrderEngine) -> Self {
+        self.order_engine = e;
         self
     }
 
@@ -182,6 +194,7 @@ impl SolveRequest {
         ScheduleKey::new(
             &self.pattern,
             self.ordering,
+            self.order_engine,
             self.params,
             self.scheme,
             self.nprocs,
@@ -307,6 +320,7 @@ impl Shared {
             built_here = true;
             let mut pipeline = Pipeline::new(request.pattern.clone())
                 .ordering(request.ordering)
+                .order_engine(request.order_engine)
                 .params(request.params)
                 .scheme(request.scheme)
                 .processors(request.nprocs);

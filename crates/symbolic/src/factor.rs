@@ -1,8 +1,35 @@
 //! Structure of the Cholesky factor L.
 
 use spfactor_matrix::SymmetricPattern;
-use spfactor_order::etree::EliminationTree;
+use spfactor_order::etree::{rows_of, EliminationTree, NONE};
 use spfactor_trace::Recorder;
+
+/// Strict-lower column counts of the Cholesky factor of `pattern`,
+/// computed from the elimination tree alone — no factor structure is
+/// materialized.
+///
+/// Row-subtree counting (George/Liu): the nonzero columns of row `i` of
+/// L are exactly the nodes of the subtree paths from each `k` with
+/// `A(i, k) ≠ 0`, `k < i`, up to (excluding) `i`. Walking each path
+/// until the first node already visited for row `i` touches every factor
+/// entry once: `O(nnz(L))` time, three length-`n` scratch arrays.
+pub fn col_counts(pattern: &SymmetricPattern, etree: &EliminationTree) -> Vec<usize> {
+    let n = pattern.n();
+    let mut count = vec![0usize; n];
+    let mut visited = vec![usize::MAX; n];
+    let (row_ptr, row_idx) = rows_of(pattern);
+    for i in 0..n {
+        for &k in &row_idx[row_ptr[i]..row_ptr[i + 1]] {
+            let mut j = k;
+            while j != i && j != NONE && visited[j] != i {
+                count[j] += 1;
+                visited[j] = i;
+                j = etree.parent(j);
+            }
+        }
+    }
+    count
+}
 
 /// The symbolic Cholesky factor of a (pre-ordered) symmetric matrix:
 /// the strict-lower-triangle structure of L, plus the elimination tree it
@@ -22,42 +49,50 @@ impl SymbolicFactor {
     ///
     /// Column merging up the elimination tree: `struct(L_j)` is the union
     /// of the below-diagonal structure of `A_j` with `struct(L_c) \ {j}`
-    /// for every etree child `c` of `j`. Runs in `O(nnz(L))` amortized via
-    /// per-column sorted merges.
+    /// for every etree child `c` of `j`. The column counts are known in
+    /// closed form from the etree first ([`col_counts`]), so the CSC
+    /// arrays are allocated exactly once at their final size and each
+    /// column is merged in place — no per-column set is materialized.
+    /// `O(nnz(L))` amortized plus the per-column sorts.
     pub fn from_pattern(pattern: &SymmetricPattern) -> Self {
         let n = pattern.n();
         let etree = EliminationTree::from_pattern(pattern);
+        let counts = col_counts(pattern, &etree);
+        let mut colptr = Vec::with_capacity(n + 1);
+        colptr.push(0usize);
+        for j in 0..n {
+            colptr.push(colptr[j] + counts[j]);
+        }
+        let mut rowidx = vec![0usize; colptr[n]];
         let children = etree.children();
-        let mut cols: Vec<Vec<usize>> = vec![Vec::new(); n];
         let mut marker = vec![usize::MAX; n];
         for j in 0..n {
-            // Start from A's column structure (rows > j).
-            let mut col: Vec<usize> = Vec::new();
+            let start = colptr[j];
+            let mut cursor = start;
+            // A's column structure (rows > j).
             for &i in pattern.col(j) {
                 if marker[i] != j {
                     marker[i] = j;
-                    col.push(i);
+                    rowidx[cursor] = i;
+                    cursor += 1;
                 }
             }
-            // Merge children factor columns (minus row j itself).
-            for &c in &children[j] {
-                for &i in &cols[c] {
+            // Merge children factor columns (minus row j itself); the
+            // children sit strictly earlier in `rowidx`, so plain index
+            // copies suffice.
+            for &c in children.of(j) {
+                for r in colptr[c]..colptr[c + 1] {
+                    let i = rowidx[r];
                     if i != j && marker[i] != j {
                         debug_assert!(i > j, "child structure must lie below parent");
                         marker[i] = j;
-                        col.push(i);
+                        rowidx[cursor] = i;
+                        cursor += 1;
                     }
                 }
             }
-            col.sort_unstable();
-            cols[j] = col;
-        }
-        let mut colptr = Vec::with_capacity(n + 1);
-        let mut rowidx = Vec::new();
-        colptr.push(0);
-        for col in &cols {
-            rowidx.extend_from_slice(col);
-            colptr.push(rowidx.len());
+            debug_assert_eq!(cursor, colptr[j + 1], "closed-form count off for col {j}");
+            rowidx[start..cursor].sort_unstable();
         }
         SymbolicFactor {
             n,
@@ -288,6 +323,20 @@ mod tests {
         assert_eq!(f.fill_in(), 0);
         // flops: sum c(c+3)/2 for c = 4,3,2,1,0 => 14+9+5+2+0 = 30
         assert_eq!(f.flop_count(), 30);
+    }
+
+    #[test]
+    fn closed_form_counts_match_materialized_structure() {
+        for p in [
+            gen::lap9(7, 7),
+            gen::grid5(6, 5),
+            gen::power_network(50, 10, 4),
+        ] {
+            let f = SymbolicFactor::from_pattern(&p);
+            let counts = col_counts(&p, f.etree());
+            let expect: Vec<usize> = (0..p.n()).map(|j| f.col_count(j)).collect();
+            assert_eq!(counts, expect);
+        }
     }
 
     #[test]

@@ -16,6 +16,6 @@ pub mod factor;
 pub mod ops;
 pub mod supernode;
 
-pub use factor::SymbolicFactor;
+pub use factor::{col_counts, SymbolicFactor};
 pub use ops::{for_each_scaling, for_each_update, UpdateOp};
 pub use supernode::{fundamental_supernodes, relaxed_supernodes};

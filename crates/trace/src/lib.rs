@@ -59,6 +59,7 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod json;
 pub mod regress;
 pub mod timeline;

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Regenerates or gates the tracked benchmark baselines
-# (BENCH_pipeline.json, BENCH_serve.json). Run from anywhere. Without a
-# mode flag, all arguments pass through to the pipeline bench binary:
+# (BENCH_pipeline.json, BENCH_serve.json, BENCH_scale.json). Run from
+# anywhere. Without a mode flag, all arguments pass through to the
+# pipeline bench binary:
 #
 #   scripts/bench.sh                 # full run, rewrites BENCH_pipeline.json
 #   scripts/bench.sh --smoke         # tiny grid, schema validation only
@@ -14,6 +15,12 @@
 #   scripts/bench.sh --serve             # full run, rewrites BENCH_serve.json
 #   scripts/bench.sh --serve --smoke     # tiny trace, schema validation only
 #
+# Scale modes drive the million-column sweep instead (bench_scale,
+# docs/PERFORMANCE.md); remaining arguments pass through:
+#
+#   scripts/bench.sh --scale             # full sweep, rewrites BENCH_scale.json
+#   scripts/bench.sh --scale --smoke     # one tiny grid, schema validation only
+#
 # Gate modes run a fresh full benchmark into a temp file and diff every
 # time-like leaf against the committed baseline with bench_regression,
 # failing on >15% slowdowns or missing leaves:
@@ -22,6 +29,8 @@
 #   scripts/bench.sh --gate-report         # same diff, never fails the build
 #   scripts/bench.sh --gate-serve          # serve baseline, exit 1 on regression
 #   scripts/bench.sh --gate-serve-report   # same diff, never fails the build
+#   scripts/bench.sh --gate-scale          # scale baseline, exit 1 on regression
+#   scripts/bench.sh --gate-scale-report   # same diff, never fails the build
 #
 # Remaining arguments after a gate flag pass through to the fresh bench
 # run (e.g. `scripts/bench.sh --gate --smoke` for a quick machinery
@@ -55,9 +64,15 @@ case "${1:-}" in
   --gate-report)       shift; gate bench_pipeline BENCH_pipeline.json yes "$@" ;;
   --gate-serve)        shift; gate bench_serve    BENCH_serve.json    no  "$@" ;;
   --gate-serve-report) shift; gate bench_serve    BENCH_serve.json    yes "$@" ;;
+  --gate-scale)        shift; gate bench_scale    BENCH_scale.json    no  "$@" ;;
+  --gate-scale-report) shift; gate bench_scale    BENCH_scale.json    yes "$@" ;;
   --serve)
     shift
     exec cargo run --release -q -p spfactor-bench --bin bench_serve -- "$@"
+    ;;
+  --scale)
+    shift
+    exec cargo run --release -q -p spfactor-bench --bin bench_scale -- "$@"
     ;;
   *)
     exec cargo run --release -q -p spfactor-bench --bin bench_pipeline -- "$@"

@@ -60,9 +60,12 @@ rm -f "$metrics_json"
 echo "==> bench smoke run: schema of BENCH_pipeline.json"
 bench_json="$(mktemp)"
 scripts/bench.sh --smoke --out "$bench_json" > /dev/null
-for field in '"schema": "spfactor-bench-pipeline/2"' \
+for field in '"schema": "spfactor-bench-pipeline/3"' \
              '"large_grid_speedup"' '"large_grid_deps_speedup"' \
+             '"large_grid_order_speedup"' \
              '"matrices"' '"phases_ms"' \
+             '"order_ms"' '"compressed"' \
+             '"speedup_order_compressed_over_direct"' \
              '"deps_ms"' '"sweep_parallel"' \
              '"speedup_deps_sweep_parallel_over_element"' \
              '"order_alt"' '"amd_factor_entries"' \
@@ -72,6 +75,26 @@ for field in '"schema": "spfactor-bench-pipeline/2"' \
     || { echo "bench JSON missing $field"; exit 1; }
 done
 rm -f "$bench_json"
+
+echo "==> scale smoke: schema of BENCH_scale.json, peak-bytes gauges populated"
+# The smoke run itself asserts every phase.*.peak_bytes gauge is
+# populated (the binary panics otherwise), so passing here witnesses
+# the tracking-allocator plumbing end to end.
+scale_json="$(mktemp)"
+scripts/bench.sh --scale --smoke --out "$scale_json" > /dev/null
+for field in '"schema": "spfactor-bench-scale/1"' \
+             '"order_engine": "compressed"' \
+             '"max_n"' '"max_peak_bytes"' \
+             '"sizes"' '"phases_ms"' '"peak_bytes"' \
+             '"factor_entries"' '"total_ms"'; do
+  grep -qF "$field" "$scale_json" \
+    || { echo "scale bench JSON missing $field"; exit 1; }
+done
+rm -f "$scale_json"
+# The committed scale baseline must self-compare clean through the gate.
+cargo run --release -q -p spfactor-bench --bin bench_regression -- \
+  --baseline BENCH_scale.json --new BENCH_scale.json > /dev/null \
+  || { echo "bench_regression failed a scale self-compare"; exit 1; }
 
 echo "==> serve smoke: schedule cache + bench_serve schema of BENCH_serve.json"
 # The serve integration suite is the cache's executable contract

@@ -10,6 +10,13 @@
 use spfactor::{Pipeline, Recorder};
 use std::sync::Arc;
 
+// Installed so the pipeline's `phase.*.peak_bytes` gauges are live in
+// this binary: they are recorded only when a tracking allocator is
+// routing this process's allocations (docs/METRICS.md).
+#[global_allocator]
+static ALLOC: spfactor::trace::alloc::TrackingAllocator =
+    spfactor::trace::alloc::TrackingAllocator::new();
+
 /// The paper's primary configuration: LAP30, grain 4, 16 processors.
 fn run_lap30_block() -> (spfactor::PipelineResult, Arc<Recorder>) {
     let rec = Arc::new(Recorder::new());
@@ -445,6 +452,68 @@ mod enabled {
         assert_eq!(rec.gauge_value("bench.regression.count"), Some(1.0));
         assert_eq!(rec.gauge_value("bench.regression.max_ratio"), Some(1.3));
         assert!(!report.passed());
+    }
+
+    #[test]
+    fn phase_peak_gauges_are_populated() {
+        // Every phase publishes its heap high-water mark when the
+        // running binary (this one) installs the tracking allocator.
+        let (_result, rec) = run_lap30_block();
+        for phase in ["order", "symbolic", "partition", "sched", "simulate"] {
+            let gauge = format!("phase.{phase}.peak_bytes");
+            let peak = rec.gauge_value(&gauge).unwrap_or_else(|| {
+                panic!("gauge {gauge} missing; recorded: {:?}", rec.gauge_names())
+            });
+            assert!(peak > 0.0, "gauge {gauge} not populated");
+        }
+    }
+
+    #[test]
+    fn compressed_order_engine_emits_its_surface() {
+        // Selecting the compressed engine records the engine counter,
+        // the compression-ratio gauges and the weighted-MD work
+        // counters (docs/METRICS.md); the direct engine records only
+        // its own engine counter.
+        let rec = Arc::new(Recorder::new());
+        let p = spfactor::matrix::gen::grid5_fe(8, 8);
+        let n = p.n() as f64;
+        Pipeline::new(p.clone())
+            .processors(4)
+            .order_engine(spfactor::OrderEngine::Compressed)
+            .with_recorder(rec.clone())
+            .run();
+        assert_eq!(rec.counter("order.engine.compressed"), 1);
+        assert_eq!(rec.counter("order.engine.direct"), 0);
+        assert_eq!(rec.gauge_value("order.compress.original"), Some(n));
+        let nodes = rec
+            .gauge_value("order.compress.nodes")
+            .expect("nodes gauge");
+        assert!(nodes >= 1.0 && nodes <= n);
+        // A finite-element grid has indistinguishable columns.
+        assert!(nodes < n, "grid5_fe should compress below {n} nodes");
+        let ratio = rec
+            .gauge_value("order.compress.ratio")
+            .expect("ratio gauge");
+        assert!((ratio - n / nodes).abs() < 1e-9);
+        for counter in [
+            "order.mmd.passes",
+            "order.mmd.eliminations",
+            "order.mmd.degree_updates",
+        ] {
+            assert!(
+                rec.counter(counter) > 0,
+                "counter {counter} missing or zero"
+            );
+        }
+
+        let rec2 = Arc::new(Recorder::new());
+        Pipeline::new(p)
+            .processors(4)
+            .with_recorder(rec2.clone())
+            .run();
+        assert_eq!(rec2.counter("order.engine.direct"), 1);
+        assert_eq!(rec2.counter("order.engine.compressed"), 0);
+        assert_eq!(rec2.gauge_value("order.compress.ratio"), None);
     }
 
     #[test]

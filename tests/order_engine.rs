@@ -1,0 +1,162 @@
+//! The ordering-engine contract: [`OrderEngine::Compressed`] must
+//! produce *valid* permutations whose fill stays in the same regime as
+//! the direct engine's, bit-deterministically, on arbitrary SPD
+//! structures — not just the paper matrices its unit tests cover.
+
+use proptest::prelude::*;
+use spfactor::order::mmd::elimination_fill;
+use spfactor::order::{order_with_engine, OrderEngine};
+use spfactor::{Ordering, Pipeline, SymmetricPattern};
+
+/// Random connected-ish symmetric pattern: a random geometric graph of
+/// `n` points with mean degree `deg`.
+fn arb_pattern() -> impl Strategy<Value = SymmetricPattern> {
+    (5usize..120, 2.0f64..8.0, any::<u64>()).prop_map(|(n, deg, seed)| {
+        let r = (deg / (std::f64::consts::PI * n as f64)).sqrt();
+        spfactor::matrix::gen::random_geometric(n, r, seed)
+    })
+}
+
+/// Fill (new strict-lower entries) of eliminating `pattern` under `perm`.
+fn fill_under(pattern: &SymmetricPattern, perm: &spfactor::Permutation) -> usize {
+    elimination_fill(&pattern.permute(perm))
+}
+
+/// The compressed engine targets the same fill regime as the direct
+/// engine; it is bit-identical when nothing compresses, and on
+/// compressible graphs the supervariable granularity can shift fill a
+/// little either way. Pinned generously: within 30% plus a small
+/// additive slack for tiny problems.
+fn assert_fill_in_regime(label: &str, direct: usize, compressed: usize) {
+    let bound = direct + direct * 3 / 10 + 16;
+    assert!(
+        compressed <= bound,
+        "{label}: compressed fill {compressed} > bound {bound} (direct {direct})"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn prop_compressed_is_valid_and_fill_stays_in_regime(
+        pattern in arb_pattern(),
+        delta in 0usize..3,
+        amd in any::<bool>(),
+    ) {
+        let method = if amd {
+            Ordering::ApproximateMinimumDegree
+        } else {
+            Ordering::MultipleMinimumDegree { delta }
+        };
+        let direct = order_with_engine(&pattern, method, OrderEngine::Direct);
+        let compressed = order_with_engine(&pattern, method, OrderEngine::Compressed);
+        // A permutation: every column exactly once.
+        prop_assert_eq!(compressed.len(), pattern.n());
+        let mut seen = vec![false; pattern.n()];
+        for j in 0..pattern.n() {
+            let o = compressed.old_of(j);
+            prop_assert!(!seen[o], "column {o} appears twice");
+            seen[o] = true;
+        }
+        // Same fill regime as the direct engine.
+        let df = fill_under(&pattern, &direct);
+        let cf = fill_under(&pattern, &compressed);
+        assert_fill_in_regime("random pattern", df, cf);
+    }
+
+    #[test]
+    fn prop_compressed_is_deterministic(pattern in arb_pattern(), delta in 0usize..3) {
+        let method = Ordering::MultipleMinimumDegree { delta };
+        let a = order_with_engine(&pattern, method, OrderEngine::Compressed);
+        let b = order_with_engine(&pattern, method, OrderEngine::Compressed);
+        prop_assert_eq!(a.as_slice(), b.as_slice());
+    }
+}
+
+#[test]
+fn compressed_fill_in_regime_on_lap_grids() {
+    for side in [8, 15, 30] {
+        let m = spfactor::matrix::gen::paper::lap_grid(side);
+        let direct = order_with_engine(&m.pattern, Ordering::paper_default(), OrderEngine::Direct);
+        let compressed = order_with_engine(
+            &m.pattern,
+            Ordering::paper_default(),
+            OrderEngine::Compressed,
+        );
+        // lap9 grids have no indistinguishable columns, so the engines
+        // agree bit for bit (the strongest form of "same regime").
+        assert_eq!(
+            direct.as_slice(),
+            compressed.as_slice(),
+            "lap_grid({side}): engines diverged"
+        );
+        let df = fill_under(&m.pattern, &direct);
+        let cf = fill_under(&m.pattern, &compressed);
+        assert_fill_in_regime(&format!("lap_grid({side})"), df, cf);
+    }
+}
+
+#[test]
+fn compressed_is_deterministic_across_thread_counts() {
+    // The compressed engine is sequential; determinism must survive
+    // whatever thread pool the surrounding pipeline uses. Run the same
+    // ordering from many threads at once and against the
+    // thread-count-sensitive pipeline engines.
+    let m = spfactor::matrix::gen::paper::lap_grid(20);
+    let reference = order_with_engine(
+        &m.pattern,
+        Ordering::paper_default(),
+        OrderEngine::Compressed,
+    );
+    let results: Vec<_> = std::thread::scope(|s| {
+        (0..4)
+            .map(|_| {
+                let pattern = &m.pattern;
+                s.spawn(move || {
+                    order_with_engine(pattern, Ordering::paper_default(), OrderEngine::Compressed)
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("ordering thread"))
+            .collect()
+    });
+    for r in &results {
+        assert_eq!(r.as_slice(), reference.as_slice());
+    }
+    // Full pipeline: parallel engines must not perturb the ordering.
+    let base = Pipeline::new(m.pattern.clone())
+        .processors(4)
+        .order_engine(OrderEngine::Compressed)
+        .run();
+    let parallel = Pipeline::new(m.pattern.clone())
+        .processors(4)
+        .order_engine(OrderEngine::Compressed)
+        .engine(spfactor::SimulateEngine::BlockParallel)
+        .deps_engine(spfactor::DepsEngine::SweepParallel)
+        .run();
+    assert_eq!(base.permutation.as_slice(), reference.as_slice());
+    assert_eq!(parallel.permutation.as_slice(), reference.as_slice());
+    assert_eq!(base.traffic, parallel.traffic);
+    assert_eq!(base.work, parallel.work);
+}
+
+#[test]
+fn compressed_pipeline_matches_direct_on_compressible_input() {
+    // A finite-element grid compresses; the full pipeline must still
+    // produce a consistent result (work conservation, fill regime).
+    let p = spfactor::matrix::gen::grid5_fe(9, 9);
+    let direct = Pipeline::new(p.clone()).processors(4).run();
+    let compressed = Pipeline::new(p)
+        .processors(4)
+        .order_engine(OrderEngine::Compressed)
+        .run();
+    assert_eq!(direct.work.total, compressed.work.total);
+    let d = direct.factor.num_entries() as f64;
+    let c = compressed.factor.num_entries() as f64;
+    assert!(
+        (c - d).abs() / d <= 0.05,
+        "factor entries diverged: direct {d}, compressed {c}"
+    );
+}

@@ -55,6 +55,44 @@ fn hits_and_misses_are_counted_per_key() {
 }
 
 #[test]
+fn ordering_engine_is_pinned_in_the_cache_key() {
+    // A schedule planned under one ordering engine must never be served
+    // to a request for another: the engine is part of the ScheduleKey,
+    // so an engine variant of an otherwise identical request is a new
+    // key (miss), while re-asking with the same engine hits.
+    let service = SolverService::start(ServeConfig::default());
+    let direct = grid_request(6, 6, 1);
+    let compressed = direct
+        .clone()
+        .order_engine(spfactor::OrderEngine::Compressed);
+    assert_ne!(direct.key(), compressed.key());
+
+    let first = service.solve(direct.clone()).unwrap();
+    assert!(!first.cache_hit);
+    let cross = service.solve(compressed.clone()).unwrap();
+    assert!(
+        !cross.cache_hit,
+        "engine variant must not reuse the artifact"
+    );
+    let again = service.solve(compressed).unwrap();
+    assert!(again.cache_hit);
+    assert_eq!(service.cache().len(), 2);
+    // Each artifact carries the key it was planned under.
+    assert_eq!(first.artifact.key(), &direct.key());
+    // lap9 grids do not compress, so the engines plan the identical
+    // schedule even though they cache under different keys.
+    assert_eq!(
+        first.artifact.permutation().as_slice(),
+        again.artifact.permutation().as_slice()
+    );
+    assert_eq!(
+        service.cache_stats().misses,
+        2,
+        "one build per engine variant"
+    );
+}
+
+#[test]
 fn concurrent_misses_on_one_pattern_build_exactly_once() {
     const THREADS: usize = 8;
     let cache = Arc::new(ScheduleCache::new(4));
