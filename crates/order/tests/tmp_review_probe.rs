@@ -1,0 +1,21 @@
+use spfactor_matrix::gen;
+use spfactor_order::{order_with_engine, OrderEngine, Ordering};
+
+#[test]
+fn approx_compressed_denser_graphs() {
+    let cases = vec![
+        ("grid7", gen::grid7(6, 6, 6)),
+        ("power", gen::power_network(200, 60, 7)),
+        ("lap9", gen::lap9(12, 12)),
+        ("fe", gen::grid5_fe(8, 8)),
+        ("lshape", gen::lshape(12)),
+        ("grid7big", gen::grid7(8, 8, 8)),
+        ("power2", gen::power_network(300, 150, 11)),
+    ];
+    for (name, p) in cases {
+        let n = p.n();
+        let perm = order_with_engine(&p, Ordering::ApproximateMinimumDegree, OrderEngine::Compressed);
+        assert_eq!(perm.len(), n, "{name}");
+        println!("{name}: ok n={n}");
+    }
+}
