@@ -19,7 +19,12 @@
 //!   schemes (the paper's central comparison, here measured as service
 //!   throughput rather than simulated traffic);
 //! * **hit rate vs cache size** — the same trace replayed against
-//!   shrinking cache capacities, showing LRU behaviour under skew.
+//!   shrinking cache capacities, showing LRU behaviour under skew;
+//! * **latency under faults** — the message-passing kernel solving a
+//!   warm tenant at injected fault rates 0 / 1% / 10% (message drops at
+//!   that rate, plus a processor crash on that fraction of requests):
+//!   amortized latency and the fraction of requests failover degraded
+//!   below the requested kernel (see `docs/SERVING.md`).
 //!
 //! ```text
 //! cargo run --release -p spfactor-bench --bin bench_serve
@@ -41,11 +46,17 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use spfactor::matrix::gen::{self, paper};
 use spfactor::matrix::SymmetricCsc;
-use spfactor::SymmetricPattern;
-use spfactor_serve::{ServeConfig, ServeError, SolveRequest, SolverService, ValueBatch};
+use spfactor::mp::CrashPlan;
+use spfactor::{FaultPlan, NetworkModel, SymmetricPattern};
+use spfactor_serve::{
+    ExecutionKernel, ResilienceConfig, ServeConfig, ServeError, SolveRequest, SolverService,
+    ValueBatch,
+};
 
-/// Schema identifier validated by `scripts/verify.sh`.
-const SCHEMA: &str = "spfactor-bench-serve/1";
+/// Schema identifier validated by `scripts/verify.sh`. `/2` added the
+/// `fault_sweep` section (amortized latency and degraded-request
+/// fraction per injected fault rate).
+const SCHEMA: &str = "spfactor-bench-serve/2";
 
 /// Seed for the trace (tenant sequence) and the per-tenant SPD values.
 const TRACE_SEED: u64 = 0x5eed_5e12;
@@ -212,6 +223,79 @@ fn amortization(tenants: &[Tenant], hits_per_tenant: usize) -> (f64, f64, f64) {
     )
 }
 
+struct FaultStats {
+    rate: f64,
+    amortized_ms: f64,
+    degraded_fraction: f64,
+}
+
+/// Latency under faults: the message-passing kernel solving one warm
+/// tenant `reps` times per injected fault rate. A rate of `r` drops
+/// messages with probability `r` (absorbed by the runtime's own retry)
+/// and crashes a processor on every `1/r`-th request (rescued by the
+/// service's failover), so the sweep prices both recovery paths.
+fn fault_sweep(tenant: &Tenant, rates: &[f64], reps: usize) -> Vec<FaultStats> {
+    rates
+        .iter()
+        .map(|&rate| {
+            let service = SolverService::start(ServeConfig {
+                resilience: ResilienceConfig {
+                    backoff_base: std::time::Duration::from_micros(200),
+                    backoff_max: std::time::Duration::from_millis(2),
+                    // Keep the breaker out of the measurement: this sweep
+                    // prices retry + failover, not breaker denials.
+                    breaker_threshold: 0,
+                    ..ResilienceConfig::default()
+                },
+                ..ServeConfig::default()
+            });
+            let request = || {
+                tenant
+                    .request(spfactor::Scheme::Block)
+                    .kernel(ExecutionKernel::MessagePassing(NetworkModel::default()))
+            };
+            // Warm the cache so the sweep measures the solve path only.
+            service.solve(request()).unwrap();
+            let crash_every = if rate > 0.0 {
+                (1.0 / rate).round() as usize
+            } else {
+                usize::MAX
+            };
+            let mut total_ms = 0.0;
+            let mut degraded = 0u64;
+            for k in 0..reps {
+                let mut req = request();
+                if rate > 0.0 {
+                    let mut plan = FaultPlan {
+                        drop: rate,
+                        ..FaultPlan::none()
+                    };
+                    plan.seed = TRACE_SEED ^ (k as u64);
+                    if (k + 1) % crash_every == 0 {
+                        plan.crash = Some(CrashPlan {
+                            proc: 0,
+                            after_units: 0,
+                            announce: true,
+                        });
+                    }
+                    req = req.fault_plan(plan);
+                }
+                let started = Instant::now();
+                let resp = service.solve(req).expect("faulted solve must complete");
+                total_ms += started.elapsed().as_secs_f64() * 1e3;
+                if resp.degraded() {
+                    degraded += 1;
+                }
+            }
+            FaultStats {
+                rate,
+                amortized_ms: total_ms / reps as f64,
+                degraded_fraction: degraded as f64 / reps as f64,
+            }
+        })
+        .collect()
+}
+
 #[allow(clippy::too_many_arguments)]
 fn json_document(
     mode: &str,
@@ -224,6 +308,7 @@ fn json_document(
     amortized_hit_rate: f64,
     schemes: &[ReplayStats],
     sweep: &[(usize, f64)],
+    faults: &[FaultStats],
 ) -> String {
     let speedup = if amortized_ms > 0.0 {
         cold_ms / amortized_ms
@@ -268,6 +353,17 @@ fn json_document(
         writeln!(
             s,
             "    {{\"capacity\": {capacity}, \"hit_rate\": {hit_rate:.3}}}{comma}"
+        )
+        .unwrap();
+    }
+    writeln!(s, "  ],").unwrap();
+    writeln!(s, "  \"fault_sweep\": [").unwrap();
+    for (i, f) in faults.iter().enumerate() {
+        let comma = if i + 1 < faults.len() { "," } else { "" };
+        writeln!(
+            s,
+            "    {{\"rate\": {}, \"amortized_ms\": {:.3}, \"degraded_fraction\": {:.3}}}{comma}",
+            f.rate, f.amortized_ms, f.degraded_fraction
         )
         .unwrap();
     }
@@ -342,7 +438,7 @@ fn main() {
                 cache_capacity: tenants.len(),
                 queue_depth: 8,
                 workers,
-                recorder: None,
+                ..ServeConfig::default()
             },
         );
         eprintln!(
@@ -377,6 +473,18 @@ fn main() {
         );
     }
 
+    // Latency under faults: drops absorbed by the runtime, crashes
+    // rescued by failover, on the first (largest-share) tenant.
+    let fault_reps = if smoke { 10 } else { 100 };
+    eprintln!("sweeping fault rates ({fault_reps} requests each)...");
+    let faults = fault_sweep(&tenants[0], &[0.0, 0.01, 0.10], fault_reps);
+    for f in &faults {
+        eprintln!(
+            "  rate {:.2}: amortized {:.3}ms  degraded fraction {:.2}",
+            f.rate, f.amortized_ms, f.degraded_fraction
+        );
+    }
+
     let mode = if smoke { "smoke" } else { "full" };
     let doc = json_document(
         mode,
@@ -389,6 +497,7 @@ fn main() {
         amortized_hit_rate,
         &schemes,
         &sweep,
+        &faults,
     );
     std::fs::write(&out_path, &doc).expect("write bench JSON");
     println!("wrote {out_path}");

@@ -28,7 +28,7 @@ use crate::export::{read_schedule, write_schedule, ScheduleDump};
 use crate::Assignment;
 use spfactor_matrix::{Permutation, SymmetricPattern};
 use spfactor_order::{OrderEngine, Ordering};
-use spfactor_partition::{DepGraph, Partition, PartitionParams};
+use spfactor_partition::{build_dependencies, DepGraph, DepsEngine, Partition, PartitionParams};
 use spfactor_symbolic::SymbolicFactor;
 use std::io::{BufRead, BufReader, Read, Write};
 
@@ -261,7 +261,10 @@ impl ScheduleArtifact {
 /// original it was dumped from.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ArtifactDump {
-    /// Structural hash recorded in the header.
+    /// The full [`ScheduleKey`] parsed from the header's key line.
+    pub key: ScheduleKey,
+    /// Structural hash recorded in the header (same value as
+    /// `key.structural_hash`, kept for callers that only need identity).
     pub structural_hash: u64,
     /// Fingerprint of the artifact that was serialized.
     pub fingerprint: u64,
@@ -270,6 +273,79 @@ pub struct ArtifactDump {
     /// The schedule body (unit geometry, predecessor lists, processor
     /// map).
     pub schedule: ScheduleDump,
+}
+
+/// Parses the `ordering {:?}` segment of a serialized key line.
+fn parse_ordering(s: &str) -> Result<Ordering, String> {
+    let s = s.trim();
+    match s {
+        "Natural" => Ok(Ordering::Natural),
+        "ReverseCuthillMcKee" => Ok(Ordering::ReverseCuthillMcKee),
+        "NestedDissection" => Ok(Ordering::NestedDissection),
+        "MinimumFill" => Ok(Ordering::MinimumFill),
+        "ApproximateMinimumDegree" => Ok(Ordering::ApproximateMinimumDegree),
+        _ => {
+            // `MultipleMinimumDegree { delta: N }` (the Debug form).
+            let delta = s
+                .strip_prefix("MultipleMinimumDegree")
+                .map(|rest| rest.trim())
+                .and_then(|rest| rest.strip_prefix('{'))
+                .and_then(|rest| rest.trim_end().strip_suffix('}'))
+                .map(|rest| rest.trim())
+                .and_then(|rest| rest.strip_prefix("delta:"))
+                .and_then(|d| d.trim().parse::<usize>().ok())
+                .ok_or_else(|| format!("unknown ordering {s:?}"))?;
+            Ok(Ordering::MultipleMinimumDegree { delta })
+        }
+    }
+}
+
+/// Parses the full key line written by [`ScheduleArtifact::write_text`].
+fn parse_key_line(line: &str) -> Result<ScheduleKey, String> {
+    let err = || format!("malformed key line: {line:?}");
+    let rest = line.strip_prefix("key hash ").ok_or_else(err)?;
+    let (hash_s, rest) = rest.split_once(" n ").ok_or_else(err)?;
+    let (n_s, rest) = rest.split_once(" ordering ").ok_or_else(err)?;
+    let (ord_s, rest) = rest.split_once(" engine ").ok_or_else(err)?;
+    let (eng_s, rest) = rest.split_once(" grain ").ok_or_else(err)?;
+    let (grain_s, rest) = rest.split_once(" width ").ok_or_else(err)?;
+    let (width_s, rest) = rest.split_once(" relax ").ok_or_else(err)?;
+    let (relax_s, rest) = rest.split_once(" scheme ").ok_or_else(err)?;
+    let (scheme_s, procs_s) = rest.split_once(" procs ").ok_or_else(err)?;
+
+    let structural_hash = u64::from_str_radix(hash_s.trim(), 16).map_err(|_| err())?;
+    let n: usize = n_s.trim().parse().map_err(|_| err())?;
+    let ordering = parse_ordering(ord_s)?;
+    let order_engine = match eng_s.trim() {
+        "direct" => OrderEngine::Direct,
+        "compressed" => OrderEngine::Compressed,
+        other => return Err(format!("unknown order engine {other:?}")),
+    };
+    let grains: Vec<&str> = grain_s.split_whitespace().collect();
+    if grains.len() != 2 {
+        return Err(err());
+    }
+    let params = PartitionParams {
+        grain_triangle: grains[0].parse().map_err(|_| err())?,
+        grain_rectangle: grains[1].parse().map_err(|_| err())?,
+        min_cluster_width: width_s.trim().parse().map_err(|_| err())?,
+        relax_zeros: relax_s.trim().parse().map_err(|_| err())?,
+    };
+    let scheme = match scheme_s.trim() {
+        "block" => Scheme::Block,
+        "wrap" => Scheme::Wrap,
+        other => return Err(format!("unknown scheme {other:?}")),
+    };
+    let nprocs: usize = procs_s.trim().parse().map_err(|_| err())?;
+    Ok(ScheduleKey {
+        structural_hash,
+        n,
+        ordering,
+        order_engine,
+        params,
+        scheme,
+        nprocs,
+    })
 }
 
 /// Parses the text produced by [`ScheduleArtifact::write_text`].
@@ -290,11 +366,8 @@ pub fn read_artifact_text<R: Read>(r: R) -> Result<ArtifactDump, String> {
         return Err(format!("not an artifact dump: {magic:?}"));
     }
     let key_line = read_line(&mut reader, "key")?;
-    let structural_hash = key_line
-        .strip_prefix("key hash ")
-        .and_then(|rest| rest.split_whitespace().next())
-        .and_then(|h| u64::from_str_radix(h, 16).ok())
-        .ok_or_else(|| format!("malformed key line: {key_line:?}"))?;
+    let key = parse_key_line(&key_line)?;
+    let structural_hash = key.structural_hash;
     let fp_line = read_line(&mut reader, "fingerprint")?;
     let fingerprint = fp_line
         .strip_prefix("fingerprint ")
@@ -311,11 +384,119 @@ pub fn read_artifact_text<R: Read>(r: R) -> Result<ArtifactDump, String> {
         Permutation::from_vec(perm).map_err(|e| format!("invalid permutation: {e}"))?;
     let schedule = read_schedule(reader)?;
     Ok(ArtifactDump {
+        key,
         structural_hash,
         fingerprint,
         permutation,
         schedule,
     })
+}
+
+/// Rebuilds a full [`ScheduleArtifact`] from a parsed dump and the
+/// original (unpermuted) sparsity pattern.
+///
+/// The dump persists everything that is expensive to recompute — above
+/// all the fill-reducing permutation, whose ordering phase dominates the
+/// front end — plus the frozen schedule (unit geometry, dependency
+/// lists, processor map). The cheap deterministic remainder (symbolic
+/// factorization, partitioning, dependency sweep) is re-derived from the
+/// pattern and cross-checked against the dump line by line; any
+/// disagreement, and any fingerprint mismatch on the reassembled
+/// artifact, yields a typed error rather than a silently wrong schedule.
+/// A reconstructed artifact is therefore bit-identical to the one that
+/// was serialized — the caller can hand it straight to
+/// `Pipeline::try_run_planned` or a solver service.
+pub fn rebuild_artifact(
+    pattern: &SymmetricPattern,
+    dump: &ArtifactDump,
+) -> Result<ScheduleArtifact, String> {
+    let key = dump.key;
+    let got_hash = pattern.structural_hash();
+    if got_hash != key.structural_hash {
+        return Err(format!(
+            "pattern hash {got_hash:016x} does not match dump key {:016x}",
+            key.structural_hash
+        ));
+    }
+    if pattern.n() != key.n {
+        return Err(format!(
+            "pattern is {} columns, dump key says {}",
+            pattern.n(),
+            key.n
+        ));
+    }
+    if dump.permutation.len() != key.n {
+        return Err(format!(
+            "permutation covers {} columns, key says {}",
+            dump.permutation.len(),
+            key.n
+        ));
+    }
+    if dump.schedule.nprocs != key.nprocs {
+        return Err(format!(
+            "schedule targets {} processors, key says {}",
+            dump.schedule.nprocs, key.nprocs
+        ));
+    }
+    let permuted = pattern.permute(&dump.permutation);
+    let factor = SymbolicFactor::from_pattern(&permuted);
+    let partition = match key.scheme {
+        Scheme::Block => Partition::build(&factor, &key.params),
+        Scheme::Wrap => Partition::columns(&factor),
+    };
+    if partition.num_units() != dump.schedule.units.len() {
+        return Err(format!(
+            "partition rebuilt {} units, dump has {}",
+            partition.num_units(),
+            dump.schedule.units.len()
+        ));
+    }
+    for (want, got) in dump.schedule.units.iter().zip(&partition.units) {
+        let (cluster, shape, elements, work) = want;
+        if got.cluster != *cluster
+            || got.shape != *shape
+            || got.elements != *elements
+            || got.work != *work
+        {
+            return Err(format!(
+                "unit {} disagrees with the rebuilt partition (dump {:?}, rebuilt {:?})",
+                got.id, want, got
+            ));
+        }
+    }
+    if dump.schedule.proc_of_unit.len() != partition.num_units() {
+        return Err("assignment does not cover the partition".into());
+    }
+    let deps = build_dependencies(DepsEngine::Sweep, &factor, &partition);
+    for u in 0..partition.num_units() {
+        if deps.preds(u) != dump.schedule.preds[u].as_slice() {
+            return Err(format!(
+                "dependency list of unit {u} disagrees with the rebuilt graph"
+            ));
+        }
+    }
+    let assignment = Assignment {
+        nprocs: key.nprocs,
+        proc_of_unit: dump.schedule.proc_of_unit.clone(),
+    };
+    // Every `ScheduleArtifact::new` consistency assert is pre-validated
+    // above, so this cannot panic on malformed input.
+    let artifact = ScheduleArtifact::new(
+        key,
+        dump.permutation.clone(),
+        factor,
+        partition,
+        deps,
+        assignment,
+    );
+    let fp = artifact.fingerprint();
+    if fp != dump.fingerprint {
+        return Err(format!(
+            "fingerprint mismatch: rebuilt {fp:016x}, dump recorded {:016x}",
+            dump.fingerprint
+        ));
+    }
+    Ok(artifact)
 }
 
 #[cfg(test)]
@@ -448,6 +629,7 @@ mod tests {
             let artifact = build(&p, scheme, 3);
             let text = artifact.to_text();
             let dump = read_artifact_text(text.as_bytes()).expect("parses");
+            assert_eq!(&dump.key, artifact.key());
             assert_eq!(dump.structural_hash, artifact.key().structural_hash);
             assert_eq!(dump.fingerprint, artifact.fingerprint());
             assert_eq!(&dump.permutation, artifact.permutation());
@@ -464,5 +646,33 @@ mod tests {
     fn read_rejects_garbage() {
         assert!(read_artifact_text("not an artifact".as_bytes()).is_err());
         assert!(read_artifact_text("spfactor-artifact v1\nkey nonsense".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rebuild_round_trips_bit_identically() {
+        let p = gen::lap9(7, 7);
+        for scheme in [Scheme::Block, Scheme::Wrap] {
+            let artifact = build(&p, scheme, 3);
+            let dump = read_artifact_text(artifact.to_text().as_bytes()).expect("parses");
+            let rebuilt = rebuild_artifact(&p, &dump).expect("rebuilds");
+            assert_eq!(rebuilt.key(), artifact.key());
+            assert_eq!(rebuilt.permutation(), artifact.permutation());
+            assert_eq!(rebuilt.deps(), artifact.deps());
+            assert_eq!(
+                rebuilt.assignment().proc_of_unit,
+                artifact.assignment().proc_of_unit
+            );
+            assert_eq!(rebuilt.fingerprint(), artifact.fingerprint());
+        }
+    }
+
+    #[test]
+    fn rebuild_rejects_the_wrong_pattern() {
+        let p = gen::lap9(7, 7);
+        let artifact = build(&p, Scheme::Block, 3);
+        let dump = read_artifact_text(artifact.to_text().as_bytes()).expect("parses");
+        let other = gen::lap9(8, 8);
+        let err = rebuild_artifact(&other, &dump).expect_err("must reject");
+        assert!(err.contains("does not match"), "{err}");
     }
 }

@@ -125,6 +125,21 @@ pub fn read_schedule<R: Read>(r: R) -> Result<ScheduleDump, String> {
             s.parse()
                 .map_err(|_| format!("line {lineno}: bad integer {s:?}"))
         };
+        // Bounds-checked token access: a record truncated mid-line (a
+        // partial write, a cut file) must be a typed error, not a panic.
+        let tok = |idx: usize| -> Result<&str, String> {
+            f.get(idx)
+                .copied()
+                .ok_or_else(|| format!("line {lineno}: truncated record"))
+        };
+        // `Interval::new` asserts non-emptiness; corrupt extents must be
+        // typed errors instead.
+        let interval = |lo: usize, hi: usize| -> Result<Interval, String> {
+            if lo > hi {
+                return Err(format!("line {lineno}: empty extent [{lo}, {hi}]"));
+            }
+            Ok(Interval::new(lo, hi))
+        };
         match f[0] {
             "U" => {
                 if f.len() < 4 {
@@ -133,19 +148,24 @@ pub fn read_schedule<R: Read>(r: R) -> Result<ScheduleDump, String> {
                 let id = parse(f[1])?;
                 let cluster = parse(f[2])?;
                 let (shape, rest) = match f[3] {
-                    "col" => (UnitShape::Column { col: parse(f[4])? }, &f[5..]),
+                    "col" => (
+                        UnitShape::Column {
+                            col: parse(tok(4)?)?,
+                        },
+                        f.get(5..).unwrap_or(&[]),
+                    ),
                     "tri" => (
                         UnitShape::Triangle {
-                            extent: Interval::new(parse(f[4])?, parse(f[5])?),
+                            extent: interval(parse(tok(4)?)?, parse(tok(5)?)?)?,
                         },
-                        &f[6..],
+                        f.get(6..).unwrap_or(&[]),
                     ),
                     "rect" => (
                         UnitShape::Rectangle {
-                            cols: Interval::new(parse(f[4])?, parse(f[5])?),
-                            rows: Interval::new(parse(f[6])?, parse(f[7])?),
+                            cols: interval(parse(tok(4)?)?, parse(tok(5)?)?)?,
+                            rows: interval(parse(tok(6)?)?, parse(tok(7)?)?)?,
                         },
-                        &f[8..],
+                        f.get(8..).unwrap_or(&[]),
                     ),
                     other => return Err(format!("line {lineno}: unknown shape {other:?}")),
                 };
@@ -158,7 +178,7 @@ pub fn read_schedule<R: Read>(r: R) -> Result<ScheduleDump, String> {
                 units.push((cluster, shape, parse(rest[0])?, parse(rest[1])?));
             }
             "D" => {
-                let u = parse(f[1])?;
+                let u = parse(tok(1)?)?;
                 if u >= nu {
                     return Err(format!("line {lineno}: unit {u} out of range"));
                 }
@@ -173,8 +193,8 @@ pub fn read_schedule<R: Read>(r: R) -> Result<ScheduleDump, String> {
                 preds[u] = ps;
             }
             "A" => {
-                let u = parse(f[1])?;
-                let p = parse(f[2])?;
+                let u = parse(tok(1)?)?;
+                let p = parse(tok(2)?)?;
                 if u >= nu || p >= nprocs {
                     return Err(format!("line {lineno}: assignment out of range"));
                 }

@@ -30,7 +30,9 @@ pub mod export;
 pub mod order;
 pub mod proportional;
 
-pub use artifact::{ScheduleArtifact, ScheduleKey, Scheme};
+pub use artifact::{
+    read_artifact_text, rebuild_artifact, ArtifactDump, ScheduleArtifact, ScheduleKey, Scheme,
+};
 pub use order::{processor_queues, topological_order};
 
 use spfactor_partition::{DepGraph, Partition, UnitShape};

@@ -21,6 +21,7 @@
 //! mirrored onto an optional [`Recorder`] as `serve.cache.*` metrics;
 //! builds run under the `serve.build` span.
 
+use crate::resilience::lock_unpoisoned;
 use crate::ServeError;
 use spfactor::sched::{ScheduleArtifact, ScheduleKey};
 use spfactor::Recorder;
@@ -83,18 +84,20 @@ impl Flight {
     }
 
     fn complete(&self, r: Result<Arc<ScheduleArtifact>, ServeError>) {
-        let mut slot = self.result.lock().unwrap();
+        let mut slot = lock_unpoisoned(&self.result);
         debug_assert!(slot.is_none(), "flight completed twice");
         *slot = Some(r);
         self.done.notify_all();
     }
 
     fn wait(&self) -> Result<Arc<ScheduleArtifact>, ServeError> {
-        let mut slot = self.result.lock().unwrap();
-        while slot.is_none() {
-            slot = self.done.wait(slot).unwrap();
+        let mut slot = lock_unpoisoned(&self.result);
+        loop {
+            match &*slot {
+                Some(r) => return r.clone(),
+                None => slot = self.done.wait(slot).unwrap_or_else(|p| p.into_inner()),
+            }
         }
-        slot.as_ref().unwrap().clone()
     }
 }
 
@@ -179,7 +182,7 @@ impl ScheduleCache {
 
     /// Number of ready artifacts currently resident.
     pub fn len(&self) -> usize {
-        let inner = self.inner.lock().unwrap();
+        let inner = lock_unpoisoned(&self.inner);
         inner
             .map
             .values()
@@ -195,7 +198,7 @@ impl ScheduleCache {
     /// Whether a ready artifact is resident under `key` (does not touch
     /// recency and does not count as a hit).
     pub fn contains(&self, key: &ScheduleKey) -> bool {
-        let inner = self.inner.lock().unwrap();
+        let inner = lock_unpoisoned(&self.inner);
         matches!(inner.map.get(key), Some(Entry::Ready { .. }))
     }
 
@@ -211,7 +214,7 @@ impl ScheduleCache {
 
     /// Resident keys, most recently used first.
     pub fn snapshot(&self) -> CacheSnapshot {
-        let inner = self.inner.lock().unwrap();
+        let inner = lock_unpoisoned(&self.inner);
         let mut ready: Vec<(u64, ScheduleKey)> = inner
             .map
             .iter()
@@ -230,7 +233,7 @@ impl ScheduleCache {
     /// Drops every ready artifact (in-flight builds complete normally
     /// and re-insert). Does not reset the stats counters.
     pub fn clear(&self) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_unpoisoned(&self.inner);
         inner.map.retain(|_, e| matches!(e, Entry::Building(_)));
         drop(inner);
         self.publish_size();
@@ -248,7 +251,7 @@ impl ScheduleCache {
         build: impl FnOnce() -> Result<ScheduleArtifact, ServeError>,
     ) -> Result<Arc<ScheduleArtifact>, ServeError> {
         let resolved = {
-            let mut inner = self.inner.lock().unwrap();
+            let mut inner = lock_unpoisoned(&self.inner);
             inner.tick += 1;
             let now = inner.tick;
             match inner.map.get_mut(&key) {
@@ -308,7 +311,7 @@ impl ScheduleCache {
         key: &ScheduleKey,
         built: Result<ScheduleArtifact, ServeError>,
     ) -> Result<Arc<ScheduleArtifact>, ServeError> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_unpoisoned(&self.inner);
         match built {
             Ok(artifact) => {
                 let artifact = Arc::new(artifact);

@@ -26,9 +26,23 @@
 //!   enqueues onto a bounded queue drained by worker threads and rejects
 //!   with [`ServeError::Overloaded`] when the queue is full, so overload
 //!   sheds load instead of growing latency without bound;
+//! * a **resilience layer** ([`ResilienceConfig`]) — per-request
+//!   deadlines enforced at the queue/build/solve stage boundaries
+//!   ([`ServeError::DeadlineExceeded`] carries a per-stage budget
+//!   breakdown), bounded retry with kernel **failover** down the
+//!   message-passing → block-parallel → sequential chain (bit-identical
+//!   answers, flagged via `SolveResponse::failover`), and a per-kernel
+//!   **circuit breaker** that skips a persistently failing kernel until
+//!   a half-open probe succeeds;
+//! * a **warm-restart artifact store** ([`ArtifactStore`], enabled by
+//!   `ServeConfig::store_dir`) — built schedules spill to disk and a
+//!   restarted service reloads them with fingerprint verification,
+//!   serving previously-seen patterns with zero cold rebuilds while
+//!   rejecting corrupt files with typed errors;
 //! * `serve.*` metrics on the existing `spfactor-trace` surface — cache
-//!   hit/miss/wait/evict counters, queue depth, and build/solve latency
-//!   percentiles (see `docs/METRICS.md` and `docs/SERVING.md`).
+//!   hit/miss/wait/evict counters, queue depth, build/solve latency
+//!   percentiles, and the deadline / failover / breaker / store
+//!   counters (see `docs/METRICS.md` and `docs/SERVING.md`).
 //!
 //! Factors produced through the cache are **bit-identical** to a fresh
 //! one-shot `Pipeline` run on the same inputs — `tests/serve_cache.rs`
@@ -54,16 +68,22 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod cache;
+pub mod resilience;
 pub mod service;
+pub mod store;
 
 pub use cache::{CacheSnapshot, CacheStats, ScheduleCache};
+pub use resilience::{BudgetBreakdown, DeadlineStage, FailoverStep, KernelKind, ResilienceConfig};
 pub use service::{
     BatchResult, ExecutionKernel, ServeConfig, SolveRequest, SolveResponse, SolverService, Ticket,
     ValueBatch,
 };
+pub use store::{ArtifactStore, StoreError, StoreStats};
 
+use spfactor::mp::MpError;
 use spfactor::{NumericError, PipelineError};
 use std::sync::Arc;
 
@@ -100,6 +120,35 @@ pub enum ServeError {
         /// The offending right-hand side's length.
         got: usize,
     },
+    /// A backend kernel execution failed, with the full structured
+    /// [`MpError`] preserved — including its
+    /// [`FaultTrace`](spfactor::mp::FaultTrace) and, for watchdog
+    /// aborts, the per-processor last-event diagnostics — so callers
+    /// and tests can match on the failure class instead of parsing a
+    /// flattened string.
+    Kernel {
+        /// The kernel class that failed.
+        kernel: KernelKind,
+        /// The structured backend error.
+        error: Arc<MpError>,
+    },
+    /// The request's deadline was exceeded; the payload says at which
+    /// stage boundary and where the budget went.
+    DeadlineExceeded {
+        /// Stage boundary at which the blown budget was discovered.
+        stage: DeadlineStage,
+        /// The request's budget in milliseconds.
+        budget_ms: f64,
+        /// Per-stage spend at failure time.
+        spent: BudgetBreakdown,
+    },
+    /// The kernel's circuit breaker is open and failover is disabled
+    /// (with failover on, an open breaker degrades the request down the
+    /// kernel chain instead of failing it).
+    BreakerOpen {
+        /// The denied kernel class.
+        kernel: KernelKind,
+    },
     /// The service is shutting down; the request was dropped.
     ShuttingDown,
 }
@@ -125,6 +174,25 @@ impl std::fmt::Display for ServeError {
             ServeError::RhsLength { expected, got } => {
                 write!(f, "right-hand side has length {got}, system is {expected}")
             }
+            ServeError::Kernel { kernel, error } => {
+                write!(f, "{} kernel failed: {error}", kernel.name())
+            }
+            ServeError::DeadlineExceeded {
+                stage,
+                budget_ms,
+                spent,
+            } => write!(
+                f,
+                "deadline of {budget_ms:.1}ms exceeded at the {} stage \
+                 (queue {:.1}ms, build {:.1}ms, solve {:.1}ms)",
+                stage.name(),
+                spent.queue_ms,
+                spent.build_ms,
+                spent.solve_ms
+            ),
+            ServeError::BreakerOpen { kernel } => {
+                write!(f, "{} kernel circuit breaker is open", kernel.name())
+            }
             ServeError::ShuttingDown => write!(f, "service is shutting down"),
         }
     }
@@ -134,6 +202,7 @@ impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServeError::Build(e) | ServeError::Solve(e) => Some(e.as_ref()),
+            ServeError::Kernel { error, .. } => Some(error.as_ref()),
             _ => None,
         }
     }

@@ -24,18 +24,25 @@
 //! load instead of stretching every caller's latency.
 
 use crate::cache::{CacheStats, ScheduleCache};
+use crate::resilience::{
+    backoff_for, lock_unpoisoned, Admit, BudgetBreakdown, DeadlineClock, DeadlineStage,
+    FailoverStep, KernelBreakers, KernelKind, ResilienceConfig,
+};
+use crate::store::{ArtifactStore, StoreStats};
 use crate::ServeError;
 use spfactor::matrix::{SymmetricCsc, SymmetricPattern};
+use spfactor::mp::{FaultPlan, MpConfig, MpError};
 use spfactor::numeric::NumericFactor;
 use spfactor::sched::{ScheduleArtifact, ScheduleKey, Scheme};
 use spfactor::{
     mp, numeric, NetworkModel, OrderEngine, Ordering, PartitionParams, Pipeline, Recorder,
 };
 use std::collections::VecDeque;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Sliding window of per-request solve latencies kept for the
 /// `serve.latency.*` percentile gauges.
@@ -54,6 +61,18 @@ pub enum ExecutionKernel {
     MessagePassing(NetworkModel),
 }
 
+impl ExecutionKernel {
+    /// The kernel's class — what circuit breakers key on and failover
+    /// reports name.
+    pub fn kind(&self) -> KernelKind {
+        match self {
+            ExecutionKernel::Sequential => KernelKind::Sequential,
+            ExecutionKernel::BlockParallel => KernelKind::BlockParallel,
+            ExecutionKernel::MessagePassing(_) => KernelKind::MessagePassing,
+        }
+    }
+}
+
 /// Service construction parameters.
 #[derive(Clone, Debug)]
 pub struct ServeConfig {
@@ -68,6 +87,14 @@ pub struct ServeConfig {
     /// (see `docs/METRICS.md`) and the pipeline's `phase.*` spans for
     /// cache-miss builds.
     pub recorder: Option<Arc<Recorder>>,
+    /// Deadlines, retry/failover, and circuit-breaker knobs (see
+    /// `docs/SERVING.md`).
+    pub resilience: ResilienceConfig,
+    /// Warm-restart artifact store directory. When set, every built
+    /// artifact is spilled there and a (re)started service reloads the
+    /// directory's index, so previously-seen patterns skip the cold
+    /// build. `None` (the default) disables persistence.
+    pub store_dir: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -77,6 +104,8 @@ impl Default for ServeConfig {
             queue_depth: 64,
             workers: 2,
             recorder: None,
+            resilience: ResilienceConfig::default(),
+            store_dir: None,
         }
     }
 }
@@ -128,6 +157,15 @@ pub struct SolveRequest {
     /// Numeric kernel for the factorizations (not part of the cache
     /// key: all kernels produce bit-identical factors).
     pub kernel: ExecutionKernel,
+    /// Per-request deadline measured from admission; overrides the
+    /// service's [`ResilienceConfig::default_deadline`]. Not part of
+    /// the cache key.
+    pub deadline: Option<Duration>,
+    /// Fault plan injected into message-passing executions of this
+    /// request (testing and chaos drills; ignored by the other
+    /// kernels). Not part of the cache key. Each retry attempt reseeds
+    /// the plan (`seed + attempt`), modeling transient faults.
+    pub fault_plan: Option<FaultPlan>,
     /// The value sets to factor and their right-hand sides.
     pub batches: Vec<ValueBatch>,
 }
@@ -143,6 +181,8 @@ impl SolveRequest {
             scheme: Scheme::Block,
             nprocs: 4,
             kernel: ExecutionKernel::Sequential,
+            deadline: None,
+            fault_plan: None,
             batches: Vec::new(),
         }
     }
@@ -183,6 +223,19 @@ impl SolveRequest {
         self
     }
 
+    /// Sets the per-request deadline (measured from admission).
+    pub fn deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Injects a fault plan into message-passing executions of this
+    /// request.
+    pub fn fault_plan(mut self, p: FaultPlan) -> Self {
+        self.fault_plan = Some(p);
+        self
+    }
+
     /// Adds a value batch.
     pub fn batch(mut self, b: ValueBatch) -> Self {
         self.batches.push(b);
@@ -220,10 +273,28 @@ pub struct SolveResponse {
     /// The (shared) schedule artifact used.
     pub artifact: Arc<ScheduleArtifact>,
     /// Whether the artifact was already resident (`true`) or this
-    /// request triggered / waited on the build (`false`).
+    /// request triggered / waited on the build or store load (`false`).
     pub cache_hit: bool,
+    /// Whether this request's artifact came from the warm-restart store
+    /// (a verified disk reconstruction) rather than a fresh build.
+    pub warm_start: bool,
+    /// The kernel class that produced the factors — the requested one
+    /// unless failover degraded the request.
+    pub served_by: KernelKind,
+    /// Kernels abandoned on the way to the answer, in order; empty when
+    /// the requested kernel served cleanly. The solution is bit-identical
+    /// either way — degradation costs performance, never correctness.
+    pub failover: Vec<FailoverStep>,
     /// Results, one per request batch in order.
     pub batches: Vec<BatchResult>,
+}
+
+impl SolveResponse {
+    /// Whether failover degraded this request below its requested
+    /// kernel.
+    pub fn degraded(&self) -> bool {
+        !self.failover.is_empty()
+    }
 }
 
 /// Receipt for a queued request; redeem with [`Ticket::wait`].
@@ -247,17 +318,23 @@ impl Ticket {
 
 struct Job {
     request: SolveRequest,
+    admitted: Instant,
     reply: mpsc::Sender<Result<SolveResponse, ServeError>>,
 }
 
 /// State shared between the handle and the workers.
 struct Shared {
     cache: ScheduleCache,
+    store: Option<ArtifactStore>,
+    breakers: KernelBreakers,
+    resilience: ResilienceConfig,
     recorder: Option<Arc<Recorder>>,
     queue_depth: usize,
     depth: AtomicUsize,
     rejected: AtomicU64,
     completed: AtomicU64,
+    cold_builds: AtomicU64,
+    degraded: AtomicU64,
     latencies_ms: Mutex<VecDeque<f64>>,
 }
 
@@ -271,10 +348,16 @@ impl Shared {
         }
     }
 
+    fn incr(&self, name: &str, by: u64) {
+        if let Some(rec) = &self.recorder {
+            rec.incr(name, by);
+        }
+    }
+
     /// Records one request latency and republishes the percentile
     /// gauges over the sliding window.
     fn record_latency(&self, ms: f64) {
-        let mut window = self.latencies_ms.lock().unwrap();
+        let mut window = lock_unpoisoned(&self.latencies_ms);
         if window.len() == LATENCY_WINDOW {
             window.pop_front();
         }
@@ -282,18 +365,99 @@ impl Shared {
         if let Some(rec) = &self.recorder {
             let mut sorted: Vec<f64> = window.iter().copied().collect();
             drop(window);
-            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            sorted.sort_by(f64::total_cmp);
             rec.gauge("serve.latency.p50_ms", percentile(&sorted, 0.50));
             rec.gauge("serve.latency.p90_ms", percentile(&sorted, 0.90));
             rec.gauge("serve.latency.p99_ms", percentile(&sorted, 0.99));
         }
     }
 
-    /// The whole request path: validate, resolve the artifact, run the
-    /// numeric kernels. Called from workers and from the synchronous
-    /// entry point alike.
-    fn process(&self, request: &SolveRequest) -> Result<SolveResponse, ServeError> {
+    /// Counts a blown deadline on the total and per-stage counters.
+    fn note_deadline(&self, stage: DeadlineStage) {
+        self.incr("serve.deadline.exceeded", 1);
+        self.incr(&format!("serve.deadline.exceeded.{}", stage.name()), 1);
+    }
+
+    /// Runs every batch of `request` on the kernel class `kind`,
+    /// classifying failures for the retry/failover loop. `attempt`
+    /// reseeds the request's fault plan so a retry does not
+    /// deterministically replay the same injected faults.
+    fn run_kernel(
+        &self,
+        kind: KernelKind,
+        request: &SolveRequest,
+        artifact: &ScheduleArtifact,
+        attempt: u32,
+    ) -> Result<Vec<BatchResult>, KernelFailure> {
+        let mut results = Vec::with_capacity(request.batches.len());
+        for batch in &request.batches {
+            let permuted = batch.values.permute(artifact.permutation());
+            let factor = match kind {
+                KernelKind::Sequential => numeric::cholesky(&permuted, artifact.factor())
+                    .map_err(|e| KernelFailure::Fatal(ServeError::solve_numeric(e)))?,
+                KernelKind::BlockParallel => numeric::cholesky_block_parallel(
+                    &permuted,
+                    artifact.factor(),
+                    artifact.partition(),
+                    artifact.deps(),
+                    artifact.assignment(),
+                )
+                .map_err(|e| KernelFailure::Fatal(ServeError::solve_numeric(e)))?,
+                KernelKind::MessagePassing => {
+                    let network = match request.kernel {
+                        ExecutionKernel::MessagePassing(n) => n,
+                        _ => NetworkModel::default(),
+                    };
+                    let mut config = MpConfig::reliable(network);
+                    if let Some(plan) = &request.fault_plan {
+                        let mut plan = plan.clone();
+                        plan.seed = plan.seed.wrapping_add(attempt as u64);
+                        config.fault = plan;
+                    }
+                    mp::execute_config(
+                        &permuted,
+                        artifact.factor(),
+                        artifact.partition(),
+                        artifact.deps(),
+                        artifact.assignment(),
+                        &config,
+                    )
+                    .map_err(KernelFailure::classify_mp)?
+                    .factor
+                }
+            };
+            let solutions =
+                numeric::batch::solve_many_permuted(&factor, artifact.permutation(), &batch.rhs);
+            results.push(BatchResult { factor, solutions });
+        }
+        Ok(results)
+    }
+
+    /// The whole request path: validate, enforce the queue-stage
+    /// deadline, resolve the artifact (store, then build), enforce the
+    /// build-stage deadline, then run the kernel chain with retry,
+    /// circuit breaking, and failover. Called from workers (with the
+    /// job's admission instant) and from the synchronous entry point
+    /// (admitted = now) alike.
+    fn process(
+        &self,
+        request: &SolveRequest,
+        admitted: Instant,
+    ) -> Result<SolveResponse, ServeError> {
         let started = Instant::now();
+        let clock = DeadlineClock::new(
+            admitted,
+            request.deadline.or(self.resilience.default_deadline),
+        );
+        let mut spent = BudgetBreakdown {
+            queue_ms: started.duration_since(admitted).as_secs_f64() * 1e3,
+            ..BudgetBreakdown::default()
+        };
+        if let Err(e) = clock.check(DeadlineStage::Queue, spent) {
+            self.note_deadline(DeadlineStage::Queue);
+            return Err(e);
+        }
+
         let n = request.pattern.n();
         let expected_hash = request.pattern.structural_hash();
         for batch in &request.batches {
@@ -316,8 +480,20 @@ impl Shared {
 
         let key = request.key();
         let mut built_here = false;
+        let mut warm_start = false;
+        let build_started = Instant::now();
         let artifact = self.cache.get_or_build(key, || {
+            // The warm-restart store first: a verified reconstruction
+            // skips the ordering phase entirely. Any store failure
+            // (missing, corrupt, key mismatch) degrades to a build.
+            if let Some(store) = &self.store {
+                if let Ok(Some(a)) = store.load(&key, &request.pattern) {
+                    warm_start = true;
+                    return Ok(a);
+                }
+            }
             built_here = true;
+            self.cold_builds.fetch_add(1, AtomicOrdering::Relaxed);
             let mut pipeline = Pipeline::new(request.pattern.clone())
                 .ordering(request.ordering)
                 .order_engine(request.order_engine)
@@ -327,60 +503,163 @@ impl Shared {
             if let Some(rec) = &self.recorder {
                 pipeline = pipeline.with_recorder(rec.clone());
             }
-            pipeline
+            let artifact = pipeline
                 .try_plan()
-                .map_err(|e| ServeError::Build(Arc::new(e)))
+                .map_err(|e| ServeError::Build(Arc::new(e)))?;
+            if let Some(store) = &self.store {
+                // A spill failure must not fail the request: the answer
+                // is correct either way, only persistence is lost.
+                let _ = store.spill(&artifact);
+            }
+            Ok(artifact)
         })?;
         // Waiters coalesced onto someone else's in-flight build count as
-        // hits here: they got the artifact without building it. The
-        // cache's own stats keep the finer hit/wait distinction.
-        let cache_hit = !built_here;
+        // hits here: they got the artifact without building or loading
+        // it. The cache's own stats keep the finer hit/wait distinction.
+        let cache_hit = !built_here && !warm_start;
+        spent.build_ms = build_started.elapsed().as_secs_f64() * 1e3;
+        if let Err(e) = clock.check(DeadlineStage::Build, spent) {
+            self.note_deadline(DeadlineStage::Build);
+            return Err(e);
+        }
 
         let solve_started = Instant::now();
-        let mut results = Vec::with_capacity(request.batches.len());
-        for batch in &request.batches {
-            let permuted = batch.values.permute(artifact.permutation());
-            let factor = match request.kernel {
-                ExecutionKernel::Sequential => numeric::cholesky(&permuted, artifact.factor())
-                    .map_err(ServeError::solve_numeric)?,
-                ExecutionKernel::BlockParallel => numeric::cholesky_block_parallel(
-                    &permuted,
-                    artifact.factor(),
-                    artifact.partition(),
-                    artifact.deps(),
-                    artifact.assignment(),
-                )
-                .map_err(ServeError::solve_numeric)?,
-                ExecutionKernel::MessagePassing(network) => {
-                    mp::execute(
-                        &permuted,
-                        artifact.factor(),
-                        artifact.partition(),
-                        artifact.deps(),
-                        artifact.assignment(),
-                        &network,
-                    )
-                    .map_err(|e| ServeError::Solve(Arc::new(spfactor::SpfactorError::from(e))))?
-                    .factor
+        let full_chain = request.kernel.kind().chain();
+        let chain = if self.resilience.failover {
+            full_chain
+        } else {
+            &full_chain[..1]
+        };
+
+        let mut failover: Vec<FailoverStep> = Vec::new();
+        let mut served: Option<(KernelKind, Vec<BatchResult>)> = None;
+        'chain: for &kind in chain {
+            spent.solve_ms = solve_started.elapsed().as_secs_f64() * 1e3;
+            if let Err(e) = clock.check(DeadlineStage::Solve, spent) {
+                self.note_deadline(DeadlineStage::Solve);
+                return Err(e);
+            }
+            if self.breakers.admit(kind) == Admit::Deny {
+                let error = ServeError::BreakerOpen { kernel: kind };
+                if chain.len() == 1 {
+                    // Failover disabled: an open breaker is the caller's
+                    // problem, as a typed error.
+                    return Err(error);
+                }
+                failover.push(FailoverStep {
+                    kernel: kind,
+                    attempts: 0,
+                    error,
+                });
+                continue 'chain;
+            }
+            let mut attempt = 0u32;
+            let step_error = loop {
+                match self.run_kernel(kind, request, &artifact, attempt) {
+                    Ok(results) => {
+                        self.breakers.on_success(kind);
+                        served = Some((kind, results));
+                        break 'chain;
+                    }
+                    // The matrix's fault, not the kernel's: no retry, no
+                    // failover, no breaker penalty.
+                    Err(KernelFailure::Fatal(e)) => return Err(e),
+                    Err(KernelFailure::Transient { retryable, error }) => {
+                        let budget_left = clock.remaining().map(|r| !r.is_zero()).unwrap_or(true);
+                        if retryable && attempt < self.resilience.max_retries && budget_left {
+                            self.incr("serve.failover.retry", 1);
+                            let pause = backoff_for(&self.resilience, attempt, clock.remaining());
+                            if !pause.is_zero() {
+                                std::thread::sleep(pause);
+                            }
+                            attempt += 1;
+                            continue;
+                        }
+                        break error;
+                    }
                 }
             };
-            let solutions =
-                numeric::batch::solve_many_permuted(&factor, artifact.permutation(), &batch.rhs);
-            results.push(BatchResult { factor, solutions });
+            self.breakers.on_failure(kind);
+            failover.push(FailoverStep {
+                kernel: kind,
+                attempts: attempt + 1,
+                error: step_error,
+            });
+        }
+
+        let (served_by, results) = match served {
+            Some(s) => s,
+            None => {
+                // Chain exhausted. The sequential last resort only fails
+                // fatally (returned above), so this is reachable only
+                // with failover disabled — surface the kernel's error.
+                self.incr("serve.failover.exhausted", 1);
+                let last = failover.pop().map(|s| s.error);
+                return Err(last.unwrap_or(ServeError::ShuttingDown));
+            }
+        };
+        if !failover.is_empty() {
+            self.degraded.fetch_add(1, AtomicOrdering::Relaxed);
+            self.incr("serve.failover.degraded", 1);
         }
         if let Some(rec) = &self.recorder {
             rec.record_span_ns("serve.solve", solve_started.elapsed().as_nanos() as u64);
             rec.incr("serve.requests", 1);
         }
         self.completed.fetch_add(1, AtomicOrdering::Relaxed);
-        self.record_latency(started.elapsed().as_secs_f64() * 1e3);
+        self.record_latency(clock.elapsed_ms());
 
         Ok(SolveResponse {
             key,
             artifact,
             cache_hit,
+            warm_start,
+            served_by,
+            failover,
             batches: results,
         })
+    }
+}
+
+/// How one kernel execution failed, as the retry/failover loop sees it.
+enum KernelFailure {
+    /// The matrix's fault (numeric breakdown, structural mismatch):
+    /// retrying or degrading kernels cannot help, abort the request.
+    Fatal(ServeError),
+    /// The kernel's fault: retry if `retryable`, then fail over.
+    Transient {
+        /// Whether another attempt on the same kernel could succeed
+        /// (transient faults reseed per attempt; a config rejection
+        /// would just repeat).
+        retryable: bool,
+        /// The typed error for the failover report.
+        error: ServeError,
+    },
+}
+
+impl KernelFailure {
+    /// Classifies a message-passing failure: numeric errors are the
+    /// matrix's, everything else is the runtime's — config rejections
+    /// are deterministic (failover only), crashes and timeouts are
+    /// transient (retry, then failover).
+    fn classify_mp(e: MpError) -> KernelFailure {
+        match e {
+            MpError::Numeric(ne) => KernelFailure::Fatal(ServeError::solve_numeric(ne)),
+            MpError::InvalidConfig(_) => KernelFailure::Transient {
+                retryable: false,
+                error: ServeError::Kernel {
+                    kernel: KernelKind::MessagePassing,
+                    error: Arc::new(e),
+                },
+            },
+            other => KernelFailure::Transient {
+                retryable: true,
+                error: ServeError::Kernel {
+                    kernel: KernelKind::MessagePassing,
+                    error: Arc::new(other),
+                },
+            },
+        }
     }
 }
 
@@ -415,19 +694,35 @@ impl std::fmt::Debug for SolverService {
 }
 
 impl SolverService {
-    /// Starts the service: builds the cache and spawns the workers.
+    /// Starts the service: builds the cache, opens the warm-restart
+    /// store (when configured — an unopenable store directory degrades
+    /// to running without persistence), and spawns the workers.
     pub fn start(config: ServeConfig) -> Self {
         let mut cache = ScheduleCache::new(config.cache_capacity);
         if let Some(rec) = &config.recorder {
             cache = cache.with_recorder(rec.clone());
         }
+        let store = config.store_dir.as_ref().and_then(|dir| {
+            ArtifactStore::open(dir)
+                .ok()
+                .map(|s| match &config.recorder {
+                    Some(rec) => s.with_recorder(rec.clone()),
+                    None => s,
+                })
+        });
+        let breakers = KernelBreakers::new(&config.resilience, config.recorder.clone());
         let shared = Arc::new(Shared {
             cache,
+            store,
+            breakers,
+            resilience: config.resilience,
             recorder: config.recorder,
             queue_depth: config.queue_depth.max(1),
             depth: AtomicUsize::new(0),
             rejected: AtomicU64::new(0),
             completed: AtomicU64::new(0),
+            cold_builds: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
             latencies_ms: Mutex::new(VecDeque::new()),
         });
         let (tx, rx) = mpsc::sync_channel::<Job>(shared.queue_depth);
@@ -436,21 +731,24 @@ impl SolverService {
             .map(|i| {
                 let shared = shared.clone();
                 let rx = rx.clone();
-                std::thread::Builder::new()
+                let spawned = std::thread::Builder::new()
                     .name(format!("serve-worker-{i}"))
                     .spawn(move || loop {
-                        let job = match rx.lock().unwrap().recv() {
+                        let job = match lock_unpoisoned(&rx).recv() {
                             Ok(job) => job,
                             Err(_) => break, // service dropped
                         };
                         shared.depth.fetch_sub(1, AtomicOrdering::Relaxed);
                         shared.publish_queue_depth();
-                        let outcome = shared.process(&job.request);
+                        let outcome = shared.process(&job.request, job.admitted);
                         // A dropped ticket is fine; the work still
                         // warmed the cache.
                         let _ = job.reply.send(outcome);
-                    })
-                    .expect("spawn serve worker")
+                    });
+                match spawned {
+                    Ok(handle) => handle,
+                    Err(e) => panic!("spawn serve worker: {e}"),
+                }
             })
             .collect();
         SolverService {
@@ -461,9 +759,10 @@ impl SolverService {
     }
 
     /// Solves synchronously on the caller's thread (no queue, no
-    /// admission control — the caller provides the backpressure).
+    /// admission control — the caller provides the backpressure). The
+    /// request's deadline starts now.
     pub fn solve(&self, request: SolveRequest) -> Result<SolveResponse, ServeError> {
-        self.shared.process(&request)
+        self.shared.process(&request, Instant::now())
     }
 
     /// Enqueues a request for the worker pool. Admission-controlled:
@@ -472,7 +771,12 @@ impl SolverService {
     pub fn submit(&self, request: SolveRequest) -> Result<Ticket, ServeError> {
         let queue = self.queue.as_ref().ok_or(ServeError::ShuttingDown)?;
         let (reply, rx) = mpsc::channel();
-        match queue.try_send(Job { request, reply }) {
+        let admitted = Instant::now();
+        match queue.try_send(Job {
+            request,
+            admitted,
+            reply,
+        }) {
             Ok(()) => {
                 self.shared.depth.fetch_add(1, AtomicOrdering::Relaxed);
                 self.shared.publish_queue_depth();
@@ -514,6 +818,31 @@ impl SolverService {
     /// Requests completed (successfully) so far, both entry points.
     pub fn completed(&self) -> u64 {
         self.shared.completed.load(AtomicOrdering::Relaxed)
+    }
+
+    /// Artifacts built from scratch (cold builds) so far — a restarted
+    /// service whose warm-restart store covers the workload keeps this
+    /// at zero.
+    pub fn cold_builds(&self) -> u64 {
+        self.shared.cold_builds.load(AtomicOrdering::Relaxed)
+    }
+
+    /// Requests served by a kernel below the requested one (failover
+    /// degradations) so far.
+    pub fn degraded(&self) -> u64 {
+        self.shared.degraded.load(AtomicOrdering::Relaxed)
+    }
+
+    /// The warm-restart store's behaviour counters; `None` when the
+    /// service runs without a store.
+    pub fn store_stats(&self) -> Option<StoreStats> {
+        self.shared.store.as_ref().map(|s| s.stats())
+    }
+
+    /// A kernel breaker's state in the gauge encoding documented in
+    /// `docs/METRICS.md`: 0 closed, 1 open, 2 half-open.
+    pub fn breaker_state(&self, kernel: KernelKind) -> f64 {
+        self.shared.breakers.state_gauge(kernel)
     }
 }
 

@@ -1,0 +1,317 @@
+//! Disk-backed warm-restart store for schedule artifacts.
+//!
+//! The schedule cache is the service's working set; this store is its
+//! persistence: every artifact built by the service is **spilled** to a
+//! store directory in the `spfactor-artifact v1` interchange format
+//! (atomic temp-file-and-rename writes), and a restarted service
+//! **reloads** the directory's index on startup — so previously-seen
+//! patterns skip the cold-build stampede and pay only the cheap
+//! deterministic reconstruction (`spfactor::sched::rebuild_artifact`),
+//! never the expensive ordering phase.
+//!
+//! Trust model: store files are bytes on disk, exactly like the HB/MM
+//! matrix files the hardened IO layer parses — they may be truncated,
+//! bit-flipped, or swapped between servers. Every load therefore
+//! re-verifies the file end to end: the parse must succeed, the parsed
+//! [`ScheduleKey`] must equal the requested one, the rebuilt partition,
+//! dependency graph, and assignment must agree with the dump line by
+//! line, and the reassembled artifact's fingerprint must equal the
+//! recorded one. Any disagreement is a typed [`StoreError`]; the file is
+//! dropped from the index and the service falls back to a fresh build.
+//! Corruption can cost a rebuild — it can never produce a wrong answer.
+
+use crate::resilience::lock_unpoisoned;
+use spfactor::matrix::SymmetricPattern;
+use spfactor::sched::{read_artifact_text, rebuild_artifact, ScheduleArtifact, ScheduleKey};
+use spfactor::Recorder;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::{Arc, Mutex};
+
+/// File extension of spilled artifacts.
+const EXT: &str = "spfa";
+
+/// Everything the artifact store can fail with. Cloneable (like
+/// [`ServeError`](crate::ServeError)) so outcomes can be shared.
+#[derive(Clone, Debug)]
+pub enum StoreError {
+    /// Filesystem failure (directory creation, read, write, rename).
+    Io {
+        /// The path involved.
+        path: PathBuf,
+        /// The rendered `std::io::Error`.
+        message: String,
+    },
+    /// The file exists but failed parsing or end-to-end verification
+    /// (truncation, bit flips, fingerprint mismatch, schedule body that
+    /// disagrees with the deterministic rebuild).
+    Corrupt {
+        /// The offending file.
+        path: PathBuf,
+        /// What the parser or verifier rejected.
+        reason: String,
+    },
+    /// The file parses cleanly but carries a different [`ScheduleKey`]
+    /// than the one it was looked up under (a swapped or renamed file).
+    KeyMismatch {
+        /// The offending file.
+        path: PathBuf,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io { path, message } => {
+                write!(f, "artifact store IO on {}: {message}", path.display())
+            }
+            StoreError::Corrupt { path, reason } => {
+                write!(f, "corrupt artifact {}: {reason}", path.display())
+            }
+            StoreError::KeyMismatch { path } => {
+                write!(
+                    f,
+                    "artifact {} carries a different schedule key",
+                    path.display()
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Monotone behaviour counters of one [`ArtifactStore`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Files indexed at startup (parsed cleanly).
+    pub loaded: u64,
+    /// Artifacts spilled to disk.
+    pub spilled: u64,
+    /// Artifacts served from disk (verified reconstructions).
+    pub hits: u64,
+    /// Files rejected — at startup scan or load time — for parse,
+    /// verification, or IO failures.
+    pub rejected: u64,
+}
+
+/// A directory of spilled [`ScheduleArtifact`]s keyed by
+/// [`ScheduleKey`], with verified reload. See the module docs for the
+/// trust model; see [`ServeConfig`](crate::ServeConfig) for how the
+/// service owns one.
+pub struct ArtifactStore {
+    dir: PathBuf,
+    index: Mutex<HashMap<ScheduleKey, PathBuf>>,
+    loaded: AtomicU64,
+    spilled: AtomicU64,
+    hits: AtomicU64,
+    rejected: AtomicU64,
+    recorder: Option<Arc<Recorder>>,
+}
+
+impl std::fmt::Debug for ArtifactStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArtifactStore")
+            .field("dir", &self.dir)
+            .field("len", &self.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// Stable FNV-1a spill file name for a key: every field folded, so two
+/// parameterizations of one pattern land in different files.
+fn file_stem(key: &ScheduleKey) -> String {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut fold_bytes = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    fold_bytes(&key.structural_hash.to_le_bytes());
+    fold_bytes(&(key.n as u64).to_le_bytes());
+    fold_bytes(format!("{:?}", key.ordering).as_bytes());
+    fold_bytes(key.order_engine.name().as_bytes());
+    fold_bytes(&(key.params.grain_triangle as u64).to_le_bytes());
+    fold_bytes(&(key.params.grain_rectangle as u64).to_le_bytes());
+    fold_bytes(&(key.params.min_cluster_width as u64).to_le_bytes());
+    fold_bytes(&(key.params.relax_zeros as u64).to_le_bytes());
+    fold_bytes(key.scheme.name().as_bytes());
+    fold_bytes(&(key.nprocs as u64).to_le_bytes());
+    format!("{h:016x}")
+}
+
+impl ArtifactStore {
+    /// Opens (creating if needed) a store directory and indexes every
+    /// parseable `*.spfa` file in it by its serialized [`ScheduleKey`].
+    /// Unparseable files are counted as rejected and skipped — a corrupt
+    /// spill degrades to a rebuild, never an error at startup.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| StoreError::Io {
+            path: dir.clone(),
+            message: e.to_string(),
+        })?;
+        let store = ArtifactStore {
+            dir: dir.clone(),
+            index: Mutex::new(HashMap::new()),
+            loaded: AtomicU64::new(0),
+            spilled: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            recorder: None,
+        };
+        let entries = std::fs::read_dir(&dir).map_err(|e| StoreError::Io {
+            path: dir.clone(),
+            message: e.to_string(),
+        })?;
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some(EXT) {
+                continue;
+            }
+            match std::fs::read(&path) {
+                Ok(bytes) => match read_artifact_text(bytes.as_slice()) {
+                    Ok(dump) => {
+                        lock_unpoisoned(&store.index).insert(dump.key, path);
+                        store.loaded.fetch_add(1, AtomicOrdering::Relaxed);
+                    }
+                    Err(_) => {
+                        store.rejected.fetch_add(1, AtomicOrdering::Relaxed);
+                    }
+                },
+                Err(_) => {
+                    store.rejected.fetch_add(1, AtomicOrdering::Relaxed);
+                }
+            }
+        }
+        Ok(store)
+    }
+
+    /// Attaches a [`Recorder`]: store traffic is then mirrored as
+    /// `serve.store.{loaded,spilled,hit,rejected}` counters (documented
+    /// in `docs/METRICS.md`). Counts accumulated before attachment (the
+    /// startup scan) are published immediately.
+    pub fn with_recorder(mut self, recorder: Arc<Recorder>) -> Self {
+        recorder.incr(
+            "serve.store.loaded",
+            self.loaded.load(AtomicOrdering::Relaxed),
+        );
+        recorder.incr(
+            "serve.store.rejected",
+            self.rejected.load(AtomicOrdering::Relaxed),
+        );
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// The directory backing the store.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of indexed artifacts.
+    pub fn len(&self) -> usize {
+        lock_unpoisoned(&self.index).len()
+    }
+
+    /// Whether nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether `key` is indexed (no verification — `load` decides).
+    pub fn contains(&self, key: &ScheduleKey) -> bool {
+        lock_unpoisoned(&self.index).contains_key(key)
+    }
+
+    /// The behaviour counters since `open`.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            loaded: self.loaded.load(AtomicOrdering::Relaxed),
+            spilled: self.spilled.load(AtomicOrdering::Relaxed),
+            hits: self.hits.load(AtomicOrdering::Relaxed),
+            rejected: self.rejected.load(AtomicOrdering::Relaxed),
+        }
+    }
+
+    fn incr(&self, name: &'static str) {
+        if let Some(rec) = &self.recorder {
+            rec.incr(name, 1);
+        }
+    }
+
+    /// Spills an artifact to disk (atomic temp-file-and-rename) and
+    /// indexes it. An IO failure is returned but leaves the store
+    /// consistent — the artifact is simply not persisted.
+    pub fn spill(&self, artifact: &ScheduleArtifact) -> Result<(), StoreError> {
+        let stem = file_stem(artifact.key());
+        let path = self.dir.join(format!("{stem}.{EXT}"));
+        let tmp = self.dir.join(format!(".{stem}.tmp"));
+        let io_err = |path: &Path, e: std::io::Error| StoreError::Io {
+            path: path.to_path_buf(),
+            message: e.to_string(),
+        };
+        let mut buf = Vec::new();
+        artifact.write_text(&mut buf).map_err(|e| io_err(&tmp, e))?;
+        std::fs::write(&tmp, &buf).map_err(|e| io_err(&tmp, e))?;
+        std::fs::rename(&tmp, &path).map_err(|e| io_err(&path, e))?;
+        lock_unpoisoned(&self.index).insert(*artifact.key(), path);
+        self.spilled.fetch_add(1, AtomicOrdering::Relaxed);
+        self.incr("serve.store.spilled");
+        Ok(())
+    }
+
+    /// Loads and fully verifies the artifact stored under `key`,
+    /// reconstructing it against `pattern` (the request's own pattern —
+    /// its structural hash must match the key).
+    ///
+    /// `Ok(None)` means the key is simply not in the store. Any indexed
+    /// file that fails reading, parsing, key equality, or rebuild
+    /// verification is dropped from the index, counted as rejected, and
+    /// returned as a typed error — the caller falls back to a build.
+    pub fn load(
+        &self,
+        key: &ScheduleKey,
+        pattern: &SymmetricPattern,
+    ) -> Result<Option<ScheduleArtifact>, StoreError> {
+        let path = match lock_unpoisoned(&self.index).get(key) {
+            Some(p) => p.clone(),
+            None => return Ok(None),
+        };
+        let reject = |e: StoreError| -> StoreError {
+            lock_unpoisoned(&self.index).remove(key);
+            self.rejected.fetch_add(1, AtomicOrdering::Relaxed);
+            self.incr("serve.store.rejected");
+            e
+        };
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) => {
+                return Err(reject(StoreError::Io {
+                    path,
+                    message: e.to_string(),
+                }))
+            }
+        };
+        let dump = match read_artifact_text(bytes.as_slice()) {
+            Ok(d) => d,
+            Err(reason) => return Err(reject(StoreError::Corrupt { path, reason })),
+        };
+        if dump.key != *key {
+            return Err(reject(StoreError::KeyMismatch { path }));
+        }
+        match rebuild_artifact(pattern, &dump) {
+            Ok(artifact) => {
+                self.hits.fetch_add(1, AtomicOrdering::Relaxed);
+                self.incr("serve.store.hit");
+                Ok(Some(artifact))
+            }
+            Err(reason) => Err(reject(StoreError::Corrupt { path, reason })),
+        }
+    }
+}

@@ -31,6 +31,8 @@ grep -q "deny(clippy::unwrap_used, clippy::expect_used)" crates/mp/src/lib.rs \
   || { echo "crates/mp lost its unwrap/expect lint gate"; exit 1; }
 grep -q "deny(clippy::unwrap_used, clippy::expect_used)" crates/matrix/src/lib.rs \
   || { echo "matrix::io lost its unwrap/expect lint gate"; exit 1; }
+grep -q "deny(clippy::unwrap_used, clippy::expect_used)" crates/serve/src/lib.rs \
+  || { echo "crates/serve lost its unwrap/expect lint gate"; exit 1; }
 
 echo "==> mp cross-validation: executed runtime vs analytic simulator"
 cargo test -q -p spfactor --test mp_cross_validation
@@ -41,6 +43,13 @@ cargo test -q -p spfactor --test deps_equivalence deps_engines_identical_on_all_
 echo "==> chaos smoke: seeded fault injection cross-validates exactly"
 cargo test -q -p spfactor --test chaos_mp chaos_smoke
 cargo test -q -p spfactor-matrix --test io_robustness
+
+echo "==> chaos-serve smoke: failover + warm-restart drill"
+# Crash-failover must stay bit-identical and a restarted service must
+# reload its artifact store with zero cold rebuilds; the artifact
+# round-trip robustness suite backs the store's trust model.
+cargo test -q -p spfactor --test chaos_serve chaos_serve_smoke
+cargo test -q -p spfactor-sched --test artifact_robustness
 
 echo "==> trace feature off: cargo test --no-default-features"
 cargo test -q --workspace --no-default-features
@@ -102,12 +111,13 @@ echo "==> serve smoke: schedule cache + bench_serve schema of BENCH_serve.json"
 cargo test -q -p spfactor --test serve_cache
 serve_json="$(mktemp)"
 scripts/bench.sh --serve --smoke --out "$serve_json" > /dev/null
-for field in '"schema": "spfactor-bench-serve/1"' \
+for field in '"schema": "spfactor-bench-serve/2"' \
              '"amortized_speedup"' '"amortized_hit_rate"' \
              '"cold_ms"' '"amortized_ms"' \
              '"throughput_rps"' '"hit_rate"' \
              '"p50_ms"' '"p99_ms"' '"rejected"' \
-             '"schemes"' '"cache_sweep"' '"capacity"'; do
+             '"schemes"' '"cache_sweep"' '"capacity"' \
+             '"fault_sweep"' '"degraded_fraction"'; do
   grep -qF "$field" "$serve_json" \
     || { echo "serve bench JSON missing $field"; exit 1; }
 done

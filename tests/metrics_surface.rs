@@ -544,6 +544,7 @@ mod enabled {
             queue_depth: 4,
             workers: 1,
             recorder: Some(rec.clone()),
+            ..ServeConfig::default()
         });
         let pattern = spfactor::matrix::gen::lap9(8, 8);
         let values = spfactor::matrix::gen::spd_from_pattern(&pattern, 5);
@@ -592,6 +593,89 @@ mod enabled {
         );
         assert!(service.cache_stats().evictions > 0);
         assert_eq!(rec.gauge_value("serve.cache.size"), Some(2.0));
+    }
+
+    #[test]
+    fn serve_resilience_emits_its_documented_surface() {
+        // The resilience additions to the serve.* surface
+        // (docs/METRICS.md): deadline counters with per-stage leaves,
+        // failover retry/degradation counters, breaker state gauges and
+        // transition counters, and the warm-restart store counters.
+        use spfactor::mp::CrashPlan;
+        use spfactor_serve::{
+            ExecutionKernel, ResilienceConfig, ServeConfig, SolveRequest, SolverService, ValueBatch,
+        };
+        use std::time::Duration;
+
+        let dir =
+            std::env::temp_dir().join(format!("spfactor-metrics-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let rec = Arc::new(Recorder::new());
+        let service = SolverService::start(ServeConfig {
+            recorder: Some(rec.clone()),
+            store_dir: Some(dir.clone()),
+            resilience: ResilienceConfig {
+                max_retries: 1,
+                backoff_base: Duration::from_micros(100),
+                breaker_threshold: 1,
+                breaker_cooldown: Duration::ZERO,
+                ..ResilienceConfig::default()
+            },
+            ..ServeConfig::default()
+        });
+        let pattern = spfactor::matrix::gen::lap9(5, 5);
+        let values = spfactor::matrix::gen::spd_from_pattern(&pattern, 3);
+        let crash = spfactor::FaultPlan {
+            crash: Some(CrashPlan {
+                proc: 0,
+                after_units: 0,
+                announce: true,
+            }),
+            ..spfactor::FaultPlan::none()
+        };
+        let request = SolveRequest::new(pattern)
+            .processors(3)
+            .kernel(ExecutionKernel::MessagePassing(
+                spfactor::NetworkModel::default(),
+            ))
+            .batch(ValueBatch::new(values));
+
+        // A zero deadline blows at the queue boundary, typed and counted.
+        let _ = service.solve(request.clone().deadline(Duration::ZERO));
+        assert_eq!(rec.counter("serve.deadline.exceeded"), 1);
+        assert_eq!(rec.counter("serve.deadline.exceeded.queue"), 1);
+
+        // A crashing mp request retries once, trips the breaker
+        // (threshold 1), and degrades down the kernel chain.
+        service.solve(request.clone().fault_plan(crash)).unwrap();
+        assert_eq!(rec.counter("serve.failover.retry"), 1);
+        assert_eq!(rec.counter("serve.failover.degraded"), 1);
+        assert_eq!(rec.counter("serve.breaker.open"), 1);
+        assert_eq!(rec.gauge_value("serve.breaker.mp.state"), Some(1.0));
+
+        // Zero cooldown: the next healthy request is the half-open
+        // probe; its success closes the breaker.
+        service.solve(request.clone()).unwrap();
+        assert_eq!(rec.counter("serve.breaker.probe"), 1);
+        assert_eq!(rec.gauge_value("serve.breaker.mp.state"), Some(0.0));
+
+        // The one cold build above was spilled to the store.
+        assert_eq!(rec.counter("serve.store.spilled"), 1);
+
+        // A restarted service over the same directory indexes the spill
+        // and serves the pattern from disk.
+        drop(service);
+        let rec2 = Arc::new(Recorder::new());
+        let service = SolverService::start(ServeConfig {
+            recorder: Some(rec2.clone()),
+            store_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        });
+        service.solve(request).unwrap();
+        assert_eq!(rec2.counter("serve.store.loaded"), 1);
+        assert_eq!(rec2.counter("serve.store.hit"), 1);
+        assert_eq!(rec2.counter("serve.store.rejected"), 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

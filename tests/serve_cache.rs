@@ -256,7 +256,7 @@ fn queue_overflow_is_rejected_as_overloaded() {
         cache_capacity: 8,
         queue_depth: 2,
         workers: 1,
-        recorder: None,
+        ..ServeConfig::default()
     });
     // Big enough that the worker is still busy while we flood.
     let slow = grid_request(40, 40, 1);
@@ -292,7 +292,7 @@ fn coalesced_concurrent_requests_serve_identical_bits() {
         cache_capacity: 4,
         queue_depth: 64,
         workers: 4,
-        recorder: None,
+        ..ServeConfig::default()
     }));
     let request = grid_request(12, 12, 3);
     let factors = Mutex::new(Vec::new());
